@@ -1,0 +1,43 @@
+// §3.2 (scalable broadcast): the naive sequential spawn loop versus the
+// PlaceGroup spawning tree with nested FINISH_SPMD. The paper's claim is the
+// flat loop "wastes valuable time and floods the network" at the root; the
+// tree distributes task-creation overhead. We report wall time and the
+// number of task messages the root itself must send.
+#include "bench_common.h"
+#include "runtime/api.h"
+#include "runtime/place_group.h"
+
+using namespace apgas;
+
+int main() {
+  bench::header("§3.2 — PlaceGroup broadcast: flat loop vs spawning tree");
+  bench::row("%8s %10s %12s %18s", "places", "variant", "time (s)",
+             "root task msgs");
+  for (int places : bench::sweep_places(32)) {
+    for (bool tree : {false, true}) {
+      Config cfg;
+      cfg.places = places;
+      cfg.places_per_node = 8;
+      cfg.count_pairs = true;
+      Runtime::run(cfg, [&] {
+        auto& tr = Runtime::get().transport();
+        tr.reset_stats();
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int round = 0; round < 20; ++round) {
+          if (tree) {
+            PlaceGroup::world().broadcast([] {}, /*fanout=*/2);
+          } else {
+            PlaceGroup::world().broadcast_flat([] {});
+          }
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        std::uint64_t root_sent = 0;
+        for (int d = 1; d < num_places(); ++d) root_sent += tr.pair_count(0, d);
+        bench::row("%8d %10s %12.4f %18llu", places, tree ? "tree" : "flat",
+                   std::chrono::duration<double>(t1 - t0).count(),
+                   static_cast<unsigned long long>(root_sent));
+      });
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// §3.3 (high-performance interconnects): emulated (point-to-point) versus
+// native ("hardware") Team collectives, and RDMA versus FIFO asyncCopy.
+// The paper: hardware collectives "offer performance that cannot be matched
+// by point-to-point messages"; RDMA transfers bypass the destination CPU.
+#include "bench_common.h"
+#include "runtime/api.h"
+#include "runtime/dist_rail.h"
+#include "runtime/place_group.h"
+#include "runtime/team.h"
+
+using namespace apgas;
+
+namespace {
+
+void collective_bench(int places, TeamMode mode, double& barrier_us,
+                      double& allreduce_us, double& alltoall_us,
+                      std::uint64_t& msgs) {
+  Config cfg;
+  cfg.places = places;
+  cfg.places_per_node = 8;
+  Runtime::run(cfg, [&] {
+    auto& tr = Runtime::get().transport();
+    tr.reset_stats();
+    constexpr int kRounds = 50;
+    std::vector<double> timings(3, 0.0);
+    std::mutex mu;
+    PlaceGroup::world().broadcast([&, mode] {
+      Team t = Team::world(mode);
+      t.barrier();
+      auto time_op = [&](auto op) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kRounds; ++i) op();
+        const auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(t1 - t0).count() / kRounds * 1e6;
+      };
+      const double b = time_op([&] { t.barrier(); });
+      std::vector<double> v(64, 1.0);
+      const double ar =
+          time_op([&] { t.allreduce(v.data(), v.size(), ReduceOp::kSum); });
+      std::vector<double> send(static_cast<std::size_t>(t.size()) * 16, 1.0);
+      std::vector<double> recv(send.size());
+      const double aa =
+          time_op([&] { t.alltoall(send.data(), recv.data(), 16); });
+      if (here() == 0) {
+        std::scoped_lock lock(mu);
+        timings = {b, ar, aa};
+      }
+    });
+    barrier_us = timings[0];
+    allreduce_us = timings[1];
+    alltoall_us = timings[2];
+    msgs = tr.count(x10rt::MsgType::kCollective);
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::header("§3.3 — Team collectives: emulated vs native (us/op)");
+  bench::row("%8s %10s %12s %12s %12s %12s", "places", "mode", "barrier",
+             "allreduce", "alltoall", "coll msgs");
+  for (int places : bench::sweep_places(16)) {
+    for (TeamMode mode : {TeamMode::kEmulated, TeamMode::kNative}) {
+      double b, ar, aa;
+      std::uint64_t msgs;
+      collective_bench(places, mode, b, ar, aa, msgs);
+      bench::row("%8d %10s %12.1f %12.1f %12.1f %12llu", places,
+                 mode == TeamMode::kEmulated ? "emulated" : "native", b, ar,
+                 aa, static_cast<unsigned long long>(msgs));
+    }
+  }
+
+  bench::header("§3.3 — asyncCopy: RDMA (registered) vs FIFO (serialized)");
+  bench::row("%10s %10s %14s %14s", "KiB", "path", "GB/s", "data msgs");
+  for (std::size_t kib : {64u, 512u, 4096u}) {
+    for (bool rdma : {true, false}) {
+      Config cfg;
+      cfg.places = 2;
+      cfg.congruent_bytes = 32u << 20;
+      Runtime::run(cfg, [&] {
+        auto& tr = Runtime::get().transport();
+        const std::size_t n = kib * 1024 / sizeof(double);
+        auto& space = Runtime::get().congruent();
+        auto arr = space.alloc<double>(n);
+        std::vector<double> heap_src(n, 1.5), heap_dst(n);
+        double* src = rdma ? space.at_place(0, arr) : heap_src.data();
+        GlobalRail<double> dst =
+            rdma ? global_rail(arr, 1)
+                 : GlobalRail<double>{1, heap_dst.data(), n};
+        tr.reset_stats();
+        constexpr int kRounds = 20;
+        const auto t0 = std::chrono::steady_clock::now();
+        finish([&] {
+          for (int i = 0; i < kRounds; ++i) async_copy(src, dst, 0, n);
+        });
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+        bench::row("%10zu %10s %14.3f %14llu", kib, rdma ? "rdma" : "fifo",
+                   static_cast<double>(n) * sizeof(double) * kRounds / secs /
+                       1e9,
+                   static_cast<unsigned long long>(
+                       tr.count(x10rt::MsgType::kData)));
+      });
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the reproduction benches. Each bench binary regenerates
+// one table or figure of the paper (see DESIGN.md §5) by sweeping place
+// counts and printing the same rows/series the paper reports.
+//
+// Scale note: the paper sweeps 1..55,680 cores of a Power 775; we sweep
+// 1..N places (threads) on one machine. Wall-clock columns reflect
+// oversubscription beyond the core count; protocol columns (message counts,
+// out-degree, balance quality) are exact and hardware-independent.
+#pragma once
+
+#include <cstdarg>
+#include <thread>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+inline std::vector<int> sweep_places(int max_places = 16) {
+  std::vector<int> out;
+  for (int p = 1; p <= max_places; p *= 2) out.push_back(p);
+  return out;
+}
+
+inline void header(const std::string& title) {
+  static bool printed_machine = false;
+  if (!printed_machine) {
+    printed_machine = true;
+    std::printf("[machine: %u hardware threads — wall-clock columns degrade "
+                "once places exceed cores; message/balance columns are "
+                "exact]\n",
+                std::thread::hardware_concurrency());
+  }
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench

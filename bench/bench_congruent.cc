@@ -1,0 +1,49 @@
+// §3.3 congruent memory allocator: symmetric allocation cost and the
+// large-page TLB-entry accounting ("The Torrent, even more than the CPU, is
+// very sensitive to TLB misses ... essential for RandomAccess").
+#include "bench_common.h"
+#include "runtime/api.h"
+
+using namespace apgas;
+
+int main() {
+  bench::header("§3.3 — congruent allocator: TLB entries by page size");
+  bench::row("%14s %12s %16s", "arena used", "page size", "TLB entries");
+  for (bool large : {false, true}) {
+    Config cfg;
+    cfg.places = 2;
+    cfg.congruent_bytes = 256u << 20;
+    cfg.congruent_large_pages = large;
+    Runtime::run(cfg, [large] {
+      auto& space = Runtime::get().congruent();
+      space.alloc<std::byte>(200u << 20);  // a RandomAccess-sized table
+      bench::row("%11zu MB %12s %16zu", space.used() >> 20,
+                 large ? "16 MiB" : "4 KiB", space.tlb_entries());
+    });
+  }
+  bench::row("(the Power 775 backs registered segments with large pages so"
+             " the Torrent's TLB holds the whole table)");
+
+  bench::header("§3.3 — symmetric allocation: same offsets at every place");
+  Config cfg;
+  cfg.places = 8;
+  cfg.congruent_bytes = 8u << 20;
+  Runtime::run(cfg, [] {
+    auto& space = Runtime::get().congruent();
+    constexpr int kAllocs = 10000;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t first = 0, last = 0;
+    for (int i = 0; i < kAllocs; ++i) {
+      auto c = space.alloc<double>(16);
+      if (i == 0) first = c.offset;
+      last = c.offset;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / kAllocs;
+    bench::row("%d symmetric allocations, %.0f ns each, offsets %zu..%zu "
+               "valid at all %d places",
+               kAllocs, ns, first, last, num_places());
+  });
+  return 0;
+}

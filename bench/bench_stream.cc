@@ -1,0 +1,34 @@
+// Figure 1 "EP Stream (Triad)" + Table 1 row 4 (paper §5): weak-scaling
+// sustainable memory bandwidth, GB/s total and GB/s per place, plus the
+// relative efficiency at scale versus one place (Table 2 row 4).
+#include "bench_common.h"
+#include "kernels/stream/stream.h"
+#include "runtime/api.h"
+
+int main() {
+  using namespace apgas;
+  bench::header("Figure 1 / EP Stream (Triad) — weak scaling");
+  bench::row("%8s %14s %16s %12s %10s", "places", "GB/s", "GB/s/place",
+             "efficiency", "verified");
+  double base_per_place = 0;
+  for (int places : bench::sweep_places()) {
+    Config cfg;
+    cfg.places = places;
+    cfg.places_per_node = 8;
+    cfg.congruent_bytes = 8u << 20;
+    Runtime::run(cfg, [&] {
+      kernels::StreamParams p;
+      p.elements_per_place = 1u << 18;
+      p.iterations = 5;
+      auto r = kernels::stream_run(p);
+      if (places == 1) base_per_place = r.gb_per_sec_per_place;
+      bench::row("%8d %14.2f %16.3f %11.0f%% %10s", places,
+                 r.gb_per_sec_total, r.gb_per_sec_per_place,
+                 100.0 * r.gb_per_sec_per_place / base_per_place,
+                 r.verified ? "yes" : "NO");
+    });
+  }
+  bench::row("(paper: 7.23 GB/s/core at 1 host -> 7.12 at 55,680 cores, 98%%"
+             " relative efficiency)");
+  return 0;
+}

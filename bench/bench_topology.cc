@@ -1,0 +1,33 @@
+// §4 (the Power 775 system): the analytic PERCS cross-section bandwidth
+// model. Reproduces the paper's described phases: octant-limited within one
+// supernode, a sharp All-To-All drop when going from one supernode to two,
+// slow recovery as D-link capacity aggregates, then a plateau.
+#include "bench_common.h"
+#include "percs/bandwidth.h"
+
+int main() {
+  percs::MachineShape shape;
+  shape.supernodes = 120;  // extend past the crossover to show the plateau
+  percs::BandwidthModel bw(shape);
+
+  bench::header("§4 — PERCS All-To-All bandwidth per octant (model)");
+  bench::row("%10s %12s %22s", "octants", "supernodes", "GB/s per octant");
+  for (int octants :
+       {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 1792, 2560, 3584}) {
+    const int sn = (octants + 31) / 32;
+    bench::row("%10d %12d %22.2f", octants, sn,
+               bw.alltoall_per_octant(octants));
+  }
+  bench::row("(paper: sharp drop one->two supernodes, slow recovery with"
+             " more supernodes, then a plateau at the octant injection"
+             " ceiling)");
+
+  bench::header("§4 — link classification (hops between octants)");
+  percs::Machine m{percs::MachineShape{}};
+  bench::row("%12s %12s %8s", "octant A", "octant B", "hops");
+  for (auto [a, b] : {std::pair<int, int>{0, 0}, {0, 5}, {0, 12}, {0, 31},
+                      {0, 32}, {17, 1000}}) {
+    bench::row("%12d %12d %8d", a, b, m.hops(a, b));
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 1 "UTS" (paper §6.2): weak-scaling traversal rate of geometric
+// trees (b0=4, r=19), depth growing with the place count as in the paper
+// (14 at one place to 22 at 55,680). Also reports the load-balance quality
+// (max/mean nodes per place), which is the hardware-independent shape of the
+// paper's 98% parallel efficiency claim.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "kernels/uts/uts.h"
+#include "runtime/api.h"
+
+int main() {
+  using namespace apgas;
+  bench::header("Figure 1 / UTS on geometric trees — weak scaling");
+  bench::row("%8s %6s %14s %14s %16s %12s %10s", "places", "depth", "nodes",
+             "Mnodes/s", "Mnodes/s/place", "imbalance", "verified");
+  for (int places : bench::sweep_places()) {
+    Config cfg;
+    cfg.places = places;
+    cfg.places_per_node = 8;
+    Runtime::run(cfg, [&] {
+      kernels::UtsParams p;
+      // Weak scaling: one extra depth level every 4x places (b0 = 4).
+      int extra = 0;
+      for (int q = places; q >= 4; q /= 4) ++extra;
+      p.depth = 10 + extra;
+      p.glb.chunk = 128;
+
+      glb::Glb<kernels::UtsBag> balancer(p.glb);
+      const auto t0 = std::chrono::steady_clock::now();
+      balancer.run(kernels::UtsBag(p, true));
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+      std::uint64_t nodes = 0;
+      std::uint64_t max_nodes = 0;
+      for (int q = 0; q < places; ++q) {
+        const auto n = balancer.bag_at(q).nodes();
+        nodes += n;
+        max_nodes = std::max(max_nodes, n);
+      }
+      const double mean =
+          static_cast<double>(nodes) / static_cast<double>(places);
+      const bool verified = kernels::uts_sequential(p).nodes == nodes;
+      bench::row("%8d %6d %14llu %14.3f %16.4f %11.2fx %10s", places, p.depth,
+                 static_cast<unsigned long long>(nodes), nodes / secs / 1e6,
+                 nodes / secs / 1e6 / places,
+                 static_cast<double>(max_nodes) / mean,
+                 verified ? "yes" : "NO");
+    });
+  }
+  bench::row("(paper: 10.929 Mnodes/s/core at 1 core -> 10.712 at 55,680"
+             " cores, 98%% efficiency; 69.3T nodes in 116s at scale)");
+
+  bench::header("UTS on binomial trees (deep/narrow, §6.1's hard shape)");
+  bench::row("%8s %14s %14s %12s %10s", "places", "nodes", "Mnodes/s",
+             "imbalance", "verified");
+  for (int places : {1, 4, 8}) {
+    Config cfg;
+    cfg.places = places;
+    cfg.places_per_node = 8;
+    Runtime::run(cfg, [&] {
+      kernels::UtsParams p;
+      p.shape = kernels::UtsShape::kBinomial;
+      p.bin_root = 2000;
+      p.bin_m = 4;
+      p.bin_q = 0.246;  // expected size 2000/(1-mq) ~= 120k nodes
+      p.glb.chunk = 128;
+      glb::Glb<kernels::UtsBag> balancer(p.glb);
+      const auto t0 = std::chrono::steady_clock::now();
+      balancer.run(kernels::UtsBag(p, true));
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      std::uint64_t nodes = 0;
+      std::uint64_t max_nodes = 0;
+      for (int q = 0; q < places; ++q) {
+        nodes += balancer.bag_at(q).nodes();
+        max_nodes = std::max(max_nodes, balancer.bag_at(q).nodes());
+      }
+      const bool verified = kernels::uts_sequential(p).nodes == nodes;
+      bench::row("%8d %14llu %14.3f %11.2fx %10s", places,
+                 static_cast<unsigned long long>(nodes), nodes / secs / 1e6,
+                 static_cast<double>(max_nodes) * places /
+                     static_cast<double>(nodes),
+                 verified ? "yes" : "NO");
+    });
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Demo of §3.1 "implementation selection": profile a finish once, see which
+// specialized termination-detection protocol its pattern matches, then
+// annotate the hot path with that pragma.
+//
+//   build/examples/finish_advisor [places]
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/api.h"
+
+using namespace apgas;
+
+namespace {
+
+const char* pragma_name(Pragma p) {
+  switch (p) {
+    case Pragma::kLocal: return "FINISH_LOCAL";
+    case Pragma::kAsync: return "FINISH_ASYNC";
+    case Pragma::kHere: return "FINISH_HERE";
+    case Pragma::kSpmd: return "FINISH_SPMD";
+    case Pragma::kDense: return "FINISH_DENSE";
+    default: return "DEFAULT";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  cfg.places = argc > 1 ? std::atoi(argv[1]) : 6;
+  Runtime::run(cfg, [] {
+    const int h = here();
+
+    struct Case {
+      const char* what;
+      std::function<void()> body;
+    };
+    const Case cases[] = {
+        {"local fan-out (finish { async S; ... })",
+         [] {
+           for (int i = 0; i < 8; ++i) async([] {});
+         }},
+        {"single remote activity (finish at(p) async S)",
+         [] { asyncAt(1, [] {}); }},
+        {"round trip (finish at(p) async { at(h) async S2 })",
+         [h] {
+           asyncAt(1, [h] { asyncAt(h, [] {}); });
+         }},
+        {"one activity per place, nested work under nested finishes",
+         [] {
+           for (int p = 1; p < num_places(); ++p) {
+             asyncAt(p, [] {
+               finish(Pragma::kLocal, [] { async([] {}); });
+             });
+           }
+         }},
+        {"all-to-all active messages",
+         [] {
+           for (int p = 0; p < num_places(); ++p) {
+             asyncAt(p, [] {
+               for (int q = 0; q < num_places(); ++q) asyncAt(q, [] {});
+             });
+           }
+         }},
+    };
+
+    std::printf("%-60s -> %s\n", "pattern", "recommended pragma");
+    for (const auto& c : cases) {
+      const Pragma rec = profile_finish(c.body);
+      std::printf("%-60s -> %s\n", c.what, pragma_name(rec));
+    }
+  });
+  return 0;
+}

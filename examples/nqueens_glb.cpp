@@ -1,0 +1,130 @@
+// N-Queens over the lifeline GLB (paper §3.4): a classic irregular tree
+// search — exactly the workload family the paper's UTS chapter motivates —
+// balanced across places with no static partitioning at all.
+//
+//   build/examples/nqueens_glb [places] [board]
+//
+// The work bag holds partially-placed boards; thieves take fragments of the
+// frontier. Every place reports how many solutions it personally counted —
+// the spread shows the balancer at work.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "glb/glb.h"
+#include "runtime/api.h"
+
+using namespace apgas;
+
+namespace {
+
+/// A partial placement: queens in the first `row` rows at columns cols[i].
+struct Board {
+  std::uint32_t row = 0;
+  std::uint32_t cols = 0;   // bitmask of used columns
+  std::uint32_t diag1 = 0;  // "/" diagonals
+  std::uint32_t diag2 = 0;  // "\" diagonals
+};
+
+class NQueensBag {
+ public:
+  NQueensBag() = default;
+  NQueensBag(int n, bool with_root) : n_(n) {
+    if (with_root) frontier_.push_back(Board{});
+  }
+
+  std::size_t process(std::size_t budget) {
+    std::size_t done = 0;
+    while (done < budget && !frontier_.empty()) {
+      const Board b = frontier_.back();
+      frontier_.pop_back();
+      ++done;
+      if (b.row == static_cast<std::uint32_t>(n_)) {
+        ++solutions_;
+        continue;
+      }
+      const std::uint32_t mask = (1u << n_) - 1;
+      std::uint32_t free = mask & ~(b.cols | b.diag1 | b.diag2);
+      while (free != 0) {
+        const std::uint32_t bit = free & (0u - free);
+        free ^= bit;
+        frontier_.push_back(Board{b.row + 1, b.cols | bit,
+                                  ((b.diag1 | bit) << 1) & mask,
+                                  (b.diag2 | bit) >> 1});
+      }
+    }
+    return done;
+  }
+
+  NQueensBag split() {
+    NQueensBag stolen;
+    stolen.n_ = n_;
+    if (frontier_.size() < 2) return stolen;
+    // Steal every other frame: mixes shallow (big) and deep (small) subtrees.
+    std::vector<Board> keep;
+    keep.reserve(frontier_.size());
+    for (std::size_t i = 0; i < frontier_.size(); ++i) {
+      (i % 2 == 0 ? keep : stolen.frontier_).push_back(frontier_[i]);
+    }
+    frontier_.swap(keep);
+    return stolen;
+  }
+
+  void merge(NQueensBag&& other) {
+    if (n_ == 0) n_ = other.n_;
+    frontier_.insert(frontier_.end(), other.frontier_.begin(),
+                     other.frontier_.end());
+    solutions_ += other.solutions_;
+    other.frontier_.clear();
+    other.solutions_ = 0;
+  }
+
+  [[nodiscard]] bool empty() const { return frontier_.empty(); }
+  [[nodiscard]] std::size_t size() const { return frontier_.size(); }
+  [[nodiscard]] long solutions() const { return solutions_; }
+
+ private:
+  int n_ = 0;
+  std::vector<Board> frontier_;
+  long solutions_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  cfg.places = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int board = argc > 2 ? std::atoi(argv[2]) : 11;
+  static const long known[] = {1,    1,     0,     0,     2,      10,
+                               4,    40,    92,    352,   724,    2680,
+                               14200, 73712, 365596};
+
+  Runtime::run(cfg, [board] {
+    glb::GlbConfig gcfg;
+    gcfg.chunk = 128;
+    glb::Glb<NQueensBag> balancer(gcfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    balancer.run(NQueensBag(board, /*with_root=*/true));
+    const auto t1 = std::chrono::steady_clock::now();
+
+    long total = 0;
+    std::printf("%-8s %14s %14s %14s\n", "place", "solutions", "processed",
+                "steal hits");
+    for (int p = 0; p < num_places(); ++p) {
+      const auto& stats = balancer.stats_at(p);
+      std::printf("%-8d %14ld %14llu %14llu\n", p,
+                  balancer.bag_at(p).solutions(),
+                  static_cast<unsigned long long>(stats.processed),
+                  static_cast<unsigned long long>(stats.steal_hits));
+      total += balancer.bag_at(p).solutions();
+    }
+    std::printf("N=%d: %ld solutions in %.3fs", board, total,
+                std::chrono::duration<double>(t1 - t0).count());
+    if (board < static_cast<int>(sizeof(known) / sizeof(known[0]))) {
+      std::printf(" (expected %ld: %s)", known[board],
+                  total == known[board] ? "correct" : "WRONG");
+    }
+    std::printf("\n");
+  });
+  return 0;
+}

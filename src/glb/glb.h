@@ -1,0 +1,271 @@
+// Lifeline-based global load balancing (paper §3.4, §6.1; [35], [43]).
+//
+// One worker activity per place processes a local TaskBag. An idle worker
+// first makes a bounded number of *random* steal attempts (synchronous round
+// trips over X10RT-level messages, the cheap accounting the paper derives
+// from FINISH_HERE), then registers on its *lifelines* — a low-diameter,
+// low-degree graph — and dies. A victim that later has work splits it among
+// recorded lifeline requesters; the loot travels as an async under the single
+// root finish, whose termination detection therefore covers exactly the
+// initial distribution plus lifeline resuscitations, staying oblivious to
+// the (much more frequent) random-steal traffic.
+//
+// The paper's refinements over [35] are all here and switchable, so the
+// bench can reproduce the §6.2 "legacy collapses at scale" comparison:
+//   * bounded victim lists (<=1024; legacy: every place is a victim),
+//   * steal round trips outside the root finish (legacy: each steal is a
+//     pair of asyncs governed by the root finish, flooding it),
+//   * FINISH_DENSE for the root finish (legacy: the default protocol).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "glb/lifeline_graph.h"
+#include "glb/task_bag.h"
+#include "runtime/api.h"
+
+namespace glb {
+
+struct GlbConfig {
+  std::size_t chunk = 256;     ///< units processed between steal services
+  int random_attempts = 2;     ///< "w" random victims before lifelines
+  int max_victims = 1024;      ///< paper §6.1: bound the out-degree
+  LifelineKind lifelines = LifelineKind::kCyclic;
+  std::uint64_t seed = 0x5eedULL;
+  bool legacy = false;         ///< [35] baseline (see header comment)
+};
+
+struct GlbPlaceStats {
+  std::uint64_t processed = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steal_hits = 0;
+  std::uint64_t lifeline_requests = 0;
+  std::uint64_t resuscitations = 0;
+};
+
+template <TaskBag Bag>
+class Glb {
+ public:
+  explicit Glb(GlbConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Runs the computation to global quiescence. Must be called from an
+  /// activity at place 0; requires one worker thread per place.
+  void run(Bag initial) {
+    apgas::Runtime& rt = apgas::Runtime::get();
+    assert(apgas::here() == 0 && "Glb::run starts at place 0");
+    assert(rt.config().workers_per_place == 1 &&
+           "GLB assumes one worker per place (as the paper's runs do)");
+    const int places = rt.places();
+    states_ = std::make_shared<std::vector<std::unique_ptr<WorkerState>>>();
+    states_->reserve(static_cast<std::size_t>(places));
+    for (int p = 0; p < places; ++p) {
+      auto ws = std::make_unique<WorkerState>();
+      ws->lifelines = lifelines_of(p, places, cfg_.lifelines);
+      ws->lifeline_requested.assign(ws->lifelines.size(), 0);
+      ws->incoming.assign(static_cast<std::size_t>(places), 0);
+      ws->rng.seed(cfg_.seed ^ (0x9e3779b97f4a7c15ULL * (p + 1)));
+      ws->victims = pick_victims(p, places, ws->rng);
+      states_->push_back(std::move(ws));
+    }
+    auto states = states_;
+    const GlbConfig cfg = cfg_;
+    apgas::finish(cfg.legacy ? apgas::Pragma::kDefault : apgas::Pragma::kDense,
+                  [&] {
+                    give_range(states, cfg, 0, places, std::move(initial));
+                  });
+  }
+
+  /// Post-run access to each place's final bag (for result extraction) and
+  /// stats. Only valid after run() returned — the job is then quiescent.
+  [[nodiscard]] const Bag& bag_at(int place) const {
+    return (*states_)[static_cast<std::size_t>(place)]->bag;
+  }
+  [[nodiscard]] const GlbPlaceStats& stats_at(int place) const {
+    return (*states_)[static_cast<std::size_t>(place)]->stats;
+  }
+
+ private:
+  struct WorkerState {
+    Bag bag{};
+    bool active = false;
+    std::vector<int> lifelines;           // whom we beg
+    std::vector<char> lifeline_requested; // outstanding request per lifeline
+    std::vector<char> incoming;           // recorded requests, by thief place
+    std::vector<int> incoming_queue;
+    std::vector<int> victims;
+    std::mt19937_64 rng;
+    // Random-steal round-trip rendezvous.
+    bool response_pending = false;
+    bool response_had_loot = false;
+    GlbPlaceStats stats;
+  };
+  using States = std::shared_ptr<std::vector<std::unique_ptr<WorkerState>>>;
+
+  static std::vector<int> pick_victims(int self, int places,
+                                       std::mt19937_64& rng) {
+    std::vector<int> all;
+    all.reserve(static_cast<std::size_t>(places) - 1);
+    for (int p = 0; p < places; ++p) {
+      if (p != self) all.push_back(p);
+    }
+    std::shuffle(all.begin(), all.end(), rng);
+    return all;  // callers bound by max_victims (legacy uses all)
+  }
+
+  /// Initial one-wave tree distribution from the root worker (§6.1).
+  static void give_range(States states, const GlbConfig& cfg, int lo, int hi,
+                         Bag bag) {
+    while (hi - lo > 1) {
+      const int mid = lo + (hi - lo + 1) / 2;
+      Bag half = bag.split();
+      auto half_ptr = std::make_shared<Bag>(std::move(half));
+      apgas::asyncAt(mid, [states, cfg, mid, hi, half_ptr] {
+        give_range(states, cfg, mid, hi, std::move(*half_ptr));
+      });
+      hi = mid;
+    }
+    auto& ws = *(*states)[static_cast<std::size_t>(apgas::here())];
+    ws.bag.merge(std::move(bag));
+    worker(states, cfg);
+  }
+
+  /// Serve recorded lifeline requests from our bag: every requester gets a
+  /// split, shipped as an async under the root finish (the resuscitation).
+  static void distribute(States states, const GlbConfig& cfg) {
+    auto& ws = *(*states)[static_cast<std::size_t>(apgas::here())];
+    while (!ws.incoming_queue.empty() && !ws.bag.empty()) {
+      Bag loot = ws.bag.split();
+      if (loot.empty()) return;
+      const int thief = ws.incoming_queue.back();
+      ws.incoming_queue.pop_back();
+      ws.incoming[static_cast<std::size_t>(thief)] = 0;
+      ++ws.stats.resuscitations;
+      auto loot_ptr = std::make_shared<Bag>(std::move(loot));
+      apgas::asyncAt(thief, [states, cfg, loot_ptr] {
+        auto& ts = *(*states)[static_cast<std::size_t>(apgas::here())];
+        ts.bag.merge(std::move(*loot_ptr));
+        // Loot re-arms future lifeline registrations.
+        std::fill(ts.lifeline_requested.begin(), ts.lifeline_requested.end(),
+                  0);
+        if (!ts.active) worker(states, cfg);  // the resuscitation async
+      });
+    }
+  }
+
+  /// One synchronous random steal attempt; returns true if loot arrived.
+  static bool random_steal(States states, const GlbConfig& cfg,
+                           WorkerState& ws) {
+    const int self = apgas::here();
+    const int bound = cfg.legacy
+                          ? static_cast<int>(ws.victims.size())
+                          : std::min<int>(cfg.max_victims,
+                                          static_cast<int>(ws.victims.size()));
+    if (bound == 0) return false;
+    std::uniform_int_distribution<int> pick(0, bound - 1);
+    const int victim = ws.victims[static_cast<std::size_t>(pick(ws.rng))];
+    ++ws.stats.steal_attempts;
+    ws.response_pending = true;
+    ws.response_had_loot = false;
+
+    if (cfg.legacy) {
+      // [35]-style: the steal round trip is a pair of asyncs under the root
+      // finish — every attempt generates termination-detection traffic.
+      apgas::asyncAt(victim, [states, self] {
+        auto& vs = *(*states)[static_cast<std::size_t>(apgas::here())];
+        Bag loot = vs.bag.split();
+        const bool had = !loot.empty();
+        auto loot_ptr = std::make_shared<Bag>(std::move(loot));
+        apgas::asyncAt(self, [states, loot_ptr, had] {
+          auto& ts = *(*states)[static_cast<std::size_t>(apgas::here())];
+          if (had) ts.bag.merge(std::move(*loot_ptr));
+          ts.response_had_loot = had;
+          ts.response_pending = false;
+        });
+      });
+    } else {
+      // Paper-style: X10RT-level round trip, invisible to the root finish
+      // (the thief activity stays live while waiting, so this is safe).
+      apgas::immediate_at(
+          victim,
+          [states, self] {
+            auto& vs = *(*states)[static_cast<std::size_t>(apgas::here())];
+            Bag loot = vs.bag.split();
+            const bool had = !loot.empty();
+            auto loot_ptr = std::make_shared<Bag>(std::move(loot));
+            apgas::immediate_at(
+                self,
+                [states, loot_ptr, had] {
+                  auto& ts =
+                      *(*states)[static_cast<std::size_t>(apgas::here())];
+                  if (had) ts.bag.merge(std::move(*loot_ptr));
+                  ts.response_had_loot = had;
+                  ts.response_pending = false;
+                },
+                x10rt::MsgType::kSteal);
+          },
+          x10rt::MsgType::kSteal);
+    }
+    apgas::Runtime::get().sched(self).run_until(
+        [&ws] { return !ws.response_pending; });
+    if (ws.response_had_loot) ++ws.stats.steal_hits;
+    return ws.response_had_loot;
+  }
+
+  /// Register on every lifeline not already holding our request.
+  static void register_lifelines(States states, WorkerState& ws) {
+    const int self = apgas::here();
+    for (std::size_t i = 0; i < ws.lifelines.size(); ++i) {
+      if (ws.lifeline_requested[i]) continue;
+      ws.lifeline_requested[i] = 1;
+      ++ws.stats.lifeline_requests;
+      apgas::immediate_at(
+          ws.lifelines[i],
+          [states, self] {
+            auto& vs = *(*states)[static_cast<std::size_t>(apgas::here())];
+            if (!vs.incoming[static_cast<std::size_t>(self)]) {
+              vs.incoming[static_cast<std::size_t>(self)] = 1;
+              vs.incoming_queue.push_back(self);
+            }
+          },
+          x10rt::MsgType::kSteal);
+    }
+  }
+
+  /// The per-place worker: process, serve, steal, register, die (§6.1).
+  static void worker(States states, const GlbConfig& cfg) {
+    auto& ws = *(*states)[static_cast<std::size_t>(apgas::here())];
+    assert(!ws.active);
+    ws.active = true;
+    auto& sched = apgas::Runtime::get().sched(apgas::here());
+    for (;;) {
+      std::size_t done;
+      while ((done = ws.bag.process(cfg.chunk)) > 0) {
+        ws.stats.processed += done;
+        distribute(states, cfg);  // serve lifelines promptly
+        while (sched.step()) {
+        }  // service steal requests between chunks
+      }
+      // Bag empty: random steals, re-checking the bag after each attempt
+      // (loot may arrive via a lifeline while we wait).
+      bool got = false;
+      for (int a = 0; a < cfg.random_attempts && !got; ++a) {
+        got = random_steal(states, cfg, ws);
+        if (!ws.bag.empty()) got = true;
+      }
+      if (got || !ws.bag.empty()) continue;
+      register_lifelines(states, ws);
+      if (!ws.bag.empty()) continue;  // raced with a resuscitation
+      break;  // die; a lifeline loot async will resuscitate us
+    }
+    ws.active = false;
+  }
+
+  GlbConfig cfg_;
+  States states_;
+};
+
+}  // namespace glb

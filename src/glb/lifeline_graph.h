@@ -1,0 +1,65 @@
+// Lifeline graphs (paper §3.4, §6.1; Saraswat et al. [35]).
+//
+// Lifeline edges form a low-diameter, low-degree graph so that work
+// propagates to starving places in few hops while bounding the number of
+// lifeline requests in flight. The paper uses hyper-cubes; we provide the
+// binary hyper-cube (power-of-two place counts) and the cyclic variant
+// p -> (p + 2^k) mod P that works for any P.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace glb {
+
+enum class LifelineKind {
+  kHypercube,       ///< binary hyper-cube (power-of-two place counts)
+  kCyclic,          ///< p -> (p + 2^k) mod P, any P
+  kHypercubeRadix,  ///< [35]'s z-dimensional hyper-cube of radix r: place
+                    ///< ids as base-r digit vectors, one lifeline per digit
+                    ///< increment — degree z, diameter z(r-1)
+};
+
+inline constexpr int kDefaultLifelineRadix = 4;
+
+/// Outgoing lifelines of `place` among `places` places (whom `place` begs
+/// for work when random stealing fails).
+inline std::vector<int> lifelines_of(int place, int places, LifelineKind kind,
+                                     int radix = kDefaultLifelineRadix) {
+  std::vector<int> out;
+  if (places <= 1) return out;
+  if (kind == LifelineKind::kHypercubeRadix) {
+    // Increment each base-r digit (wrapping within the digit), skipping
+    // peers that fall outside [0, places).
+    for (std::int64_t stride = 1; stride < places;
+         stride *= radix) {
+      const int digit = static_cast<int>(place / stride) % radix;
+      const int next_digit = (digit + 1) % radix;
+      const int peer =
+          place + static_cast<int>((next_digit - digit) * stride);
+      if (peer >= 0 && peer < places && peer != place) out.push_back(peer);
+    }
+    return out;
+  }
+  for (int k = 0; (1 << k) < places; ++k) {
+    int peer;
+    if (kind == LifelineKind::kHypercube) {
+      peer = place ^ (1 << k);
+      if (peer >= places) continue;  // degenerate for non-power-of-two
+    } else {
+      peer = (place + (1 << k)) % places;
+    }
+    if (peer != place) out.push_back(peer);
+  }
+  return out;
+}
+
+/// Diameter bound of the lifeline graph (hops for work to reach any place).
+inline int lifeline_diameter(int places) {
+  int d = 0;
+  while ((1 << d) < places) ++d;
+  return d;
+}
+
+}  // namespace glb

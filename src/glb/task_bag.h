@@ -1,0 +1,88 @@
+// The TaskBag concept GLB balances (paper §3.4), plus a simple bag used by
+// tests and examples.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace glb {
+
+/// What GLB requires of a work bag. Bags are moved between places inside
+/// task closures, so they must be movable and self-contained.
+template <typename B>
+concept TaskBag = std::movable<B> && std::default_initializable<B> &&
+    requires(B bag, B other, std::size_t n) {
+      /// Process up to n units; returns the number actually processed
+      /// (0 means the bag is empty).
+      { bag.process(n) } -> std::convertible_to<std::size_t>;
+      { bag.split() } -> std::same_as<B>;  // extract roughly half (may be empty)
+      /// Absorb ALL of other's work. merge() can target a NON-empty bag
+      /// (loot may arrive while processing, e.g. consecutive lifeline
+      /// deliveries) — single-slot bags that only adopt-when-empty lose
+      /// work. Hold a list of work fragments.
+      { bag.merge(std::move(other)) };
+      { bag.empty() } -> std::convertible_to<bool>;
+      { bag.size() } -> std::convertible_to<std::size_t>;
+    };
+
+/// A bag of abstract work units held as index intervals — the compact
+/// representation the paper adopts for UTS (§6.1). split() takes a fragment
+/// of *every* interval, which is the paper's counter to depth-cutoff bias.
+/// Optional per-unit synthetic spin creates imbalance for tests/benches.
+class CounterBag {
+ public:
+  CounterBag() = default;
+  CounterBag(std::uint64_t lo, std::uint64_t hi, int spin = 0) : spin_(spin) {
+    if (lo < hi) ranges_.emplace_back(lo, hi);
+  }
+
+  std::size_t process(std::size_t n) {
+    std::size_t done = 0;
+    while (done < n && !ranges_.empty()) {
+      auto& [lo, hi] = ranges_.back();
+      volatile std::uint64_t sink = lo;
+      for (int s = 0; s < spin_; ++s) sink = sink * 2862933555777941757ULL + 1;
+      (void)sink;
+      if (++lo >= hi) ranges_.pop_back();
+      ++done;
+    }
+    processed_ += done;
+    return done;
+  }
+
+  CounterBag split() {
+    CounterBag stolen;
+    stolen.spin_ = spin_;
+    for (auto& [lo, hi] : ranges_) {
+      const std::uint64_t len = hi - lo;
+      if (len < 2) continue;
+      const std::uint64_t take = len / 2;
+      stolen.ranges_.emplace_back(hi - take, hi);
+      hi -= take;
+    }
+    return stolen;
+  }
+
+  void merge(CounterBag&& other) {
+    ranges_.insert(ranges_.end(), other.ranges_.begin(), other.ranges_.end());
+    other.ranges_.clear();
+  }
+
+  [[nodiscard]] bool empty() const { return ranges_.empty(); }
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& [lo, hi] : ranges_) total += hi - lo;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges_;
+  int spin_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace glb

@@ -1,0 +1,270 @@
+#include "kernels/fft/fft.h"
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <numbers>
+
+#include "runtime/api.h"
+#include "runtime/dist_rail.h"
+#include "runtime/place_group.h"
+#include "runtime/team.h"
+
+namespace kernels {
+
+namespace {
+
+using std::int64_t;
+
+/// Distributed transpose of an R x C matrix held as row blocks: `in` is this
+/// place's R/P rows (row-major), `out` receives its C/P rows of the
+/// transpose. Local pack, All-To-All, local unpack (paper §5.1).
+void dist_transpose(apgas::Team& team, const std::vector<Complex>& in,
+                    int64_t rows, int64_t cols, std::vector<Complex>& out) {
+  const int p = team.size();
+  const int me = team.rank();
+  const int64_t rs = rows / p;  // my source rows
+  const int64_t rd = cols / p;  // my destination rows
+  const int64_t block = rs * rd;
+  std::vector<Complex> send(static_cast<std::size_t>(block) * p);
+  std::vector<Complex> recv(static_cast<std::size_t>(block) * p);
+  for (int q = 0; q < p; ++q) {
+    Complex* dst = send.data() + static_cast<std::size_t>(q) * block;
+    for (int64_t j = 0; j < rd; ++j) {
+      const int64_t c = static_cast<int64_t>(q) * rd + j;
+      for (int64_t i = 0; i < rs; ++i) {
+        dst[j * rs + i] = in[static_cast<std::size_t>(i * cols + c)];
+      }
+    }
+  }
+  team.alltoall(send.data(), recv.data(), static_cast<std::size_t>(block));
+  out.resize(static_cast<std::size_t>(rd) * rows);
+  for (int s = 0; s < p; ++s) {
+    const Complex* src = recv.data() + static_cast<std::size_t>(s) * block;
+    for (int64_t j = 0; j < rd; ++j) {
+      for (int64_t i = 0; i < rs; ++i) {
+        out[static_cast<std::size_t>(j * rows + s * rs + i)] =
+            src[j * rs + i];
+      }
+    }
+  }
+  (void)me;
+}
+
+/// Fused steps 2-4 of the transpose method with communication overlap:
+/// FFT + twiddle each local row of the n2 x n1 matrix, and ship each row's
+/// per-destination slices by one-sided RDMA *as soon as that row is done* —
+/// the puts drain on the DMA engine while later rows compute. `stage` is a
+/// congruent staging buffer of n/P elements per place.
+void fused_fft_twiddle_transpose(apgas::Team& team, std::vector<Complex>& t1,
+                                 int64_t n1, int64_t n2, int64_t n,
+                                 const apgas::Congruent<Complex>& stage,
+                                 std::vector<Complex>& t2) {
+  using namespace apgas;
+  const int p = team.size();
+  const int me = team.rank();
+  const int64_t rs = n2 / p;  // my rows of t1
+  const int64_t rd = n1 / p;  // my rows of the transposed result
+  const int64_t block = rs * rd;
+  const int64_t row0 = static_cast<int64_t>(me) * rs;
+
+  team.barrier();  // staging free from any previous pass
+  finish([&] {
+    for (int64_t j = 0; j < rs; ++j) {
+      Complex* row = t1.data() + static_cast<std::size_t>(j) * n1;
+      fft_forward(row, static_cast<std::size_t>(n1));
+      const double c = static_cast<double>(row0 + j);
+      for (int64_t k1 = 0; k1 < n1; ++k1) {
+        const double ang = -2.0 * std::numbers::pi * c *
+                           static_cast<double>(k1) / static_cast<double>(n);
+        row[k1] *= Complex(std::cos(ang), std::sin(ang));
+      }
+      // Row j is final: overlap its transfer with the remaining rows.
+      for (int q = 0; q < p; ++q) {
+        async_copy(row + static_cast<std::size_t>(q) * rd,
+                   global_rail(stage, team.place_of(q)),
+                   static_cast<std::size_t>(me * block + j * rd),
+                   static_cast<std::size_t>(rd));
+      }
+    }
+  });
+  team.barrier();  // all slices delivered everywhere
+  t2.resize(static_cast<std::size_t>(rd) * n2);
+  const Complex* recv =
+      Runtime::get().congruent().at_place(here(), stage);
+  for (int s = 0; s < p; ++s) {
+    for (int64_t jd = 0; jd < rd; ++jd) {
+      for (int64_t i = 0; i < rs; ++i) {
+        t2[static_cast<std::size_t>(jd * n2 + s * rs + i)] =
+            recv[static_cast<std::size_t>(s) * block + i * rd + jd];
+      }
+    }
+  }
+  team.barrier();  // everyone unpacked; staging reusable
+}
+
+/// One distributed forward DFT pass over this place's slice (rows of the
+/// n1 x n2 view of the length-N array). Input and output are both the
+/// contiguous natural-order block owned by this place.
+void dist_fft_pass(apgas::Team& team, std::vector<Complex>& local, int64_t n1,
+                   int64_t n2, bool overlap = false,
+                   const apgas::Congruent<Complex>* stage = nullptr) {
+  const int64_t n = n1 * n2;
+  // Step 1: A1[c][r] = x[c + n2*r] — transpose of the n1 x n2 row-major view.
+  std::vector<Complex> t1;
+  dist_transpose(team, local, n1, n2, t1);
+  std::vector<Complex> t2;
+  if (overlap) {
+    // Steps 2-4 fused: per-row FFT + twiddle with the transpose's RDMA
+    // transfers in flight behind the compute (paper §5.2's missing
+    // experiment).
+    fused_fft_twiddle_transpose(team, t1, n1, n2, n, *stage, t2);
+  } else {
+    // Step 2: length-n1 FFT along each row of A1 (over r).
+    const int64_t rows1 = n2 / team.size();
+    for (int64_t j = 0; j < rows1; ++j) {
+      fft_forward(t1.data() + static_cast<std::size_t>(j) * n1,
+                  static_cast<std::size_t>(n1));
+    }
+    // Step 3: twiddle — B[c][k1] *= w_N^(c*k1), c the *global* row index.
+    const int64_t row0 = team.rank() * rows1;
+    for (int64_t j = 0; j < rows1; ++j) {
+      const double c = static_cast<double>(row0 + j);
+      for (int64_t k1 = 0; k1 < n1; ++k1) {
+        const double ang = -2.0 * std::numbers::pi * c *
+                           static_cast<double>(k1) / static_cast<double>(n);
+        t1[static_cast<std::size_t>(j * n1 + k1)] *=
+            Complex(std::cos(ang), std::sin(ang));
+      }
+    }
+    // Step 4: transpose back to n1 x n2.
+    dist_transpose(team, t1, n2, n1, t2);
+  }
+  // Step 5: length-n2 FFT along each row (over c) -> D[k1][k2].
+  const int64_t rows2 = n1 / team.size();
+  for (int64_t i = 0; i < rows2; ++i) {
+    fft_forward(t2.data() + static_cast<std::size_t>(i) * n2,
+                static_cast<std::size_t>(n2));
+  }
+  // Step 6: final transpose: E[k2][k1] row-major is X in natural order
+  // (k = k1 + n1*k2 lands at linear index k2*n1 + k1).
+  dist_transpose(team, t2, n1, n2, local);
+}
+
+void choose_dims(int log2_size, int64_t& n1, int64_t& n2) {
+  const int e1 = (log2_size + 1) / 2;
+  n1 = int64_t{1} << e1;
+  n2 = int64_t{1} << (log2_size - e1);
+}
+
+}  // namespace
+
+FftResult fft_run(const FftParams& params) {
+  using namespace apgas;
+  const int places = num_places();
+  assert((places & (places - 1)) == 0 && "FFT requires power-of-two places");
+  int64_t n1, n2;
+  choose_dims(params.log2_size, n1, n2);
+  const int64_t n = n1 * n2;
+  assert(n2 >= places && n1 >= places && "too many places for this size");
+
+  using TimePoint = std::chrono::steady_clock::time_point;
+  // Staging arena for the overlapped transpose (one slice per place).
+  apgas::Congruent<Complex> stage{};
+  if (params.overlap) {
+    stage = apgas::Runtime::get().congruent().alloc<Complex>(
+        static_cast<std::size_t>(n / places));
+  }
+
+  std::vector<double> errors(static_cast<std::size_t>(places), 0.0);
+  std::vector<TimePoint> starts(static_cast<std::size_t>(places));
+  std::vector<TimePoint> stops(static_cast<std::size_t>(places));
+  std::mutex mu;
+
+  PlaceGroup::world().broadcast([&] {
+    Team team = Team::world();
+    const int64_t slice = n / places;
+    const int64_t base = slice * here();
+    std::vector<Complex> local(static_cast<std::size_t>(slice));
+    auto fill = [&](int64_t g) {
+      // Deterministic pseudo-random input.
+      std::uint64_t h = static_cast<std::uint64_t>(g) * 0x9e3779b97f4a7c15ULL;
+      h ^= h >> 29;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 32;
+      const double re = static_cast<double>(h & 0xffffff) / 0x1000000 - 0.5;
+      const double im =
+          static_cast<double>((h >> 24) & 0xffffff) / 0x1000000 - 0.5;
+      return Complex(re, im);
+    };
+    for (int64_t i = 0; i < slice; ++i) local[static_cast<std::size_t>(i)] = fill(base + i);
+
+    team.barrier();
+    const auto t0 = std::chrono::steady_clock::now();
+    dist_fft_pass(team, local, n1, n2, params.overlap, &stage);
+    team.barrier();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Verification: inverse via the conjugation identity, still distributed.
+    for (auto& v : local) v = std::conj(v);
+    dist_fft_pass(team, local, n1, n2, params.overlap, &stage);
+    double err = 0;
+    const double inv = 1.0 / static_cast<double>(n);
+    for (int64_t i = 0; i < slice; ++i) {
+      const Complex back =
+          std::conj(local[static_cast<std::size_t>(i)]) * inv;
+      err = std::max(err, std::abs(back - fill(base + i)));
+    }
+    {
+      std::scoped_lock lock(mu);
+      errors[static_cast<std::size_t>(here())] = err;
+      starts[static_cast<std::size_t>(here())] = t0;
+      stops[static_cast<std::size_t>(here())] = t1;
+    }
+  });
+
+  FftResult result;
+  TimePoint first = starts[0];
+  TimePoint last = stops[0];
+  for (int p = 0; p < places; ++p) {
+    first = std::min(first, starts[static_cast<std::size_t>(p)]);
+    last = std::max(last, stops[static_cast<std::size_t>(p)]);
+    result.max_roundtrip_error =
+        std::max(result.max_roundtrip_error, errors[static_cast<std::size_t>(p)]);
+  }
+  result.seconds = std::chrono::duration<double>(last - first).count();
+  const double flops = 5.0 * static_cast<double>(n) * params.log2_size;
+  result.gflops = flops / result.seconds / 1e9;
+  result.gflops_per_place = result.gflops / places;
+  result.verified = result.max_roundtrip_error < 1e-9;
+  return result;
+}
+
+std::vector<Complex> fft_global(const std::vector<Complex>& x) {
+  using namespace apgas;
+  const int places = num_places();
+  int64_t n = static_cast<int64_t>(x.size());
+  int log2n = 0;
+  while ((int64_t{1} << log2n) < n) ++log2n;
+  assert((int64_t{1} << log2n) == n);
+  int64_t n1, n2;
+  choose_dims(log2n, n1, n2);
+
+  std::vector<Complex> out(x.size());
+  std::mutex mu;
+  PlaceGroup::world().broadcast([&] {
+    Team team = Team::world();
+    const int64_t slice = n / places;
+    const int64_t base = slice * here();
+    std::vector<Complex> local(
+        x.begin() + static_cast<std::ptrdiff_t>(base),
+        x.begin() + static_cast<std::ptrdiff_t>(base + slice));
+    dist_fft_pass(team, local, n1, n2);
+    std::scoped_lock lock(mu);
+    std::copy(local.begin(), local.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(base));
+  });
+  return out;
+}
+
+}  // namespace kernels

@@ -1,0 +1,41 @@
+// Global FFT — HPCC benchmark (paper §5.1): 1D discrete Fourier transform of
+// a double-complex array evenly distributed across places, computed with the
+// transpose method: global transpose, per-row FFTs, global transpose with
+// twiddle multiplication, per-row FFTs, global transpose. Each global
+// transpose is local data shuffling + an All-To-All collective + local
+// shuffling, exactly the paper's decomposition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/util/fft1d.h"
+
+namespace kernels {
+
+struct FftParams {
+  int log2_size = 16;  ///< total N = 2^log2_size complex elements
+  /// Overlap the second global transpose with the row FFTs + twiddles: each
+  /// row's slice ships by RDMA as soon as that row is transformed, while
+  /// later rows are still computing. The paper lists this overlap as the
+  /// experiment they lacked machine time for (§5.2).
+  bool overlap = false;
+};
+
+struct FftResult {
+  double seconds = 0;
+  double gflops = 0;  ///< 5 N log2(N) / t, the HPCC convention
+  double gflops_per_place = 0;
+  double max_roundtrip_error = 0;
+  bool verified = false;
+};
+
+/// Runs the distributed FFT (forward, then an inverse round trip for
+/// verification). Requires power-of-two places with P^2 <= N.
+FftResult fft_run(const FftParams& params);
+
+/// Distributed forward DFT of the flat array `x` (length 2^log2_size),
+/// returned gathered in natural order — used by tests against dft_naive.
+std::vector<Complex> fft_global(const std::vector<Complex>& x);
+
+}  // namespace kernels

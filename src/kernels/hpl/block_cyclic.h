@@ -1,0 +1,97 @@
+// The 2D block-cyclic distribution used by Global HPL (paper §5.1): global
+// block (I, J) of size nb x nb lives at process-grid position
+// (I mod Pr, J mod Pc); each place packs its blocks densely in block order.
+// Local row/column indices are monotone in their global counterparts, so
+// trailing submatrices are contiguous tails of the local storage.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kernels {
+
+struct BlockCyclic {
+  int n = 0, nb = 0, pr_grid = 1, pc_grid = 1, pr = 0, pc = 0;
+  int my_rows = 0, my_cols = 0;
+  std::vector<double> a;  // row-major my_rows x my_cols
+
+  /// Sets up the local shape and fills entries from `gen(gi, gj)`.
+  template <typename Gen>
+  void init(int n_, int nb_, int prg, int pcg, int pr_, int pc_, Gen&& gen) {
+    n = n_;
+    nb = nb_;
+    pr_grid = prg;
+    pc_grid = pcg;
+    pr = pr_;
+    pc = pc_;
+    my_rows = count_owned(n, nb, prg, pr);
+    my_cols = count_owned(n, nb, pcg, pc);
+    a.assign(static_cast<std::size_t>(my_rows) * my_cols, 0.0);
+    for (int li = 0; li < my_rows; ++li) {
+      const int gi = global_row(li);
+      for (int lj = 0; lj < my_cols; ++lj) {
+        at(li, lj) = gen(gi, global_col(lj));
+      }
+    }
+  }
+
+  /// Rows (or columns) of an n-vector owned by grid position `me` of `grid`.
+  static int count_owned(int n, int nb, int grid, int me) {
+    int count = 0;
+    for (int blk = 0; blk * nb < n; ++blk) {
+      if (blk % grid == me) count += std::min(nb, n - blk * nb);
+    }
+    return count;
+  }
+
+  [[nodiscard]] bool owns_row(int gi) const {
+    return (gi / nb) % pr_grid == pr;
+  }
+  [[nodiscard]] bool owns_col(int gj) const {
+    return (gj / nb) % pc_grid == pc;
+  }
+  [[nodiscard]] int local_row(int gi) const {
+    return (gi / nb) / pr_grid * nb + gi % nb;
+  }
+  [[nodiscard]] int local_col(int gj) const {
+    return (gj / nb) / pc_grid * nb + gj % nb;
+  }
+  [[nodiscard]] int global_row(int li) const {
+    return ((li / nb) * pr_grid + pr) * nb + li % nb;
+  }
+  [[nodiscard]] int global_col(int lj) const {
+    return ((lj / nb) * pc_grid + pc) * nb + lj % nb;
+  }
+  double& at(int li, int lj) {
+    return a[static_cast<std::size_t>(li) * my_cols + lj];
+  }
+  [[nodiscard]] double get(int li, int lj) const {
+    return a[static_cast<std::size_t>(li) * my_cols + lj];
+  }
+
+  /// First local row with global index >= gi (local rows are sorted by
+  /// global index, so trailing submatrices are contiguous tails).
+  [[nodiscard]] int first_local_row_ge(int gi) const {
+    int li = 0;
+    while (li < my_rows && global_row(li) < gi) ++li;
+    return li;
+  }
+  [[nodiscard]] int first_local_col_ge(int gj) const {
+    int lj = 0;
+    while (lj < my_cols && global_col(lj) < gj) ++lj;
+    return lj;
+  }
+};
+
+/// Near-square process grid factorization: Pr <= Pc, Pr * Pc = places.
+inline void choose_process_grid(int places, int& pr, int& pc) {
+  pr = 1;
+  for (int f = 1; f * f <= places; ++f) {
+    if (places % f == 0) pr = f;
+  }
+  pc = places / pr;
+}
+
+}  // namespace kernels

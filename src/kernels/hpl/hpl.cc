@@ -1,0 +1,419 @@
+#include "kernels/hpl/hpl.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "kernels/hpl/block_cyclic.h"
+#include "kernels/util/dgemm.h"
+#include "runtime/api.h"
+#include "runtime/place_group.h"
+#include "runtime/team.h"
+
+namespace kernels {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct PivotEntry {
+  double absval = -1.0;
+  int row = -1;
+};
+
+}  // namespace
+
+double hpl_entry(std::uint64_t seed, int i, int j) {
+  const std::uint64_t h = mix(seed ^ (static_cast<std::uint64_t>(i) << 24) ^
+                              static_cast<std::uint64_t>(j));
+  return static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53) - 0.5;
+}
+
+double hpl_rhs(std::uint64_t seed, int i) {
+  return hpl_entry(seed * 31 + 17, i, 1 << 20);
+}
+
+HplResult hpl_run(const HplParams& params) {
+  using namespace apgas;
+  const int places = num_places();
+  int prg, pcg;
+  choose_process_grid(places, prg, pcg);
+  const int n = params.n;
+  const int nb = params.nb;
+
+  auto locals = std::make_shared<std::vector<std::unique_ptr<BlockCyclic>>>();
+  locals->resize(static_cast<std::size_t>(places));
+  auto pivots = std::make_shared<std::vector<int>>(static_cast<std::size_t>(n));
+  auto x_dist = std::make_shared<std::vector<double>>();
+  using TimePoint = std::chrono::steady_clock::time_point;
+  std::vector<TimePoint> starts(static_cast<std::size_t>(places));
+  std::vector<TimePoint> stops(static_cast<std::size_t>(places));
+  std::mutex mu;
+
+  PlaceGroup::world().broadcast([&, locals, pivots, x_dist] {
+    const int me = here();
+    const int pr = me / pcg;  // row-major place grid
+    const int pc = me % pcg;
+    {
+      auto local = std::make_unique<BlockCyclic>();
+      local->init(n, nb, prg, pcg, pr, pc, [&params](int gi, int gj) {
+        return hpl_entry(params.seed, gi, gj);
+      });
+      std::scoped_lock lock(mu);
+      (*locals)[static_cast<std::size_t>(me)] = std::move(local);
+    }
+    Team world = Team::world();
+    world.barrier();  // every place's Local exists
+    BlockCyclic& mine = *(*locals)[static_cast<std::size_t>(me)];
+    Team row_team = world.split(pr, pc);          // rank == pc
+    Team col_team = world.split(1000 + pc, pr);   // rank == pr
+
+    std::vector<int> my_pivots(static_cast<std::size_t>(n));
+    const auto t0 = std::chrono::steady_clock::now();
+    const int nblocks = (n + nb - 1) / nb;
+    for (int kb = 0; kb < nblocks; ++kb) {
+      const int col0 = kb * nb;
+      const int w = std::min(nb, n - col0);
+      const int panel_end = col0 + w;
+      const int pc_own = kb % pcg;
+      const int pr_own = kb % prg;
+
+      // --- panel factorization with row-partial pivoting ------------------
+      for (int j = col0; j < panel_end; ++j) {
+        int piv_row = j;
+        if (pc == pc_own) {
+          // Pivot search down the column: local argmax, then a maxloc over
+          // the column team (an allgather-based reduction).
+          PivotEntry local_best;
+          const int lj = mine.local_col(j);
+          for (int li = mine.first_local_row_ge(j); li < mine.my_rows; ++li) {
+            const double v = std::abs(mine.get(li, lj));
+            if (v > local_best.absval) {
+              local_best = PivotEntry{v, mine.global_row(li)};
+            }
+          }
+          std::vector<PivotEntry> all(static_cast<std::size_t>(prg));
+          col_team.allgather(&local_best, all.data(), 1);
+          PivotEntry best;
+          for (const auto& e : all) {
+            if (e.absval > best.absval) best = e;
+          }
+          piv_row = best.row;
+        }
+        // Everyone in the process row learns the pivot from the pc_own
+        // member (rank == pc in the row team).
+        row_team.bcast(pc_own, &piv_row, 1);
+        my_pivots[static_cast<std::size_t>(j)] = piv_row;
+        if (me == 0) (*pivots)[static_cast<std::size_t>(j)] = piv_row;
+
+        // Global row swap j <-> piv_row: each process column swaps its
+        // segments; cross-place swaps fetch the peer segment, sync, write.
+        if (piv_row != j) {
+          const int pr_j = (j / nb) % prg;
+          const int pr_p = (piv_row / nb) % prg;
+          if (pr_j == pr_p) {
+            if (pr == pr_j) {
+              const int a_ = mine.local_row(j);
+              const int b_ = mine.local_row(piv_row);
+              for (int lj2 = 0; lj2 < mine.my_cols; ++lj2) {
+                std::swap(mine.at(a_, lj2), mine.at(b_, lj2));
+              }
+            }
+            col_team.barrier();
+          } else if (pr == pr_j || pr == pr_p) {
+            const int peer_pr = pr == pr_j ? pr_p : pr_j;
+            const int peer_place = peer_pr * pcg + pc;
+            const int peer_grow = pr == pr_j ? piv_row : j;
+            const int my_grow = pr == pr_j ? j : piv_row;
+            // Fetch the peer's segment of the other row (a "get", the
+            // paper's FINISH_HERE idiom via the blocking at).
+            std::vector<double> theirs =
+                at(peer_place, [locals, peer_place, peer_grow] {
+                  BlockCyclic& peer = *(*locals)[static_cast<std::size_t>(peer_place)];
+                  const int li = peer.local_row(peer_grow);
+                  std::vector<double> seg(static_cast<std::size_t>(peer.my_cols));
+                  for (int lj2 = 0; lj2 < peer.my_cols; ++lj2) {
+                    seg[static_cast<std::size_t>(lj2)] = peer.get(li, lj2);
+                  }
+                  return seg;
+                });
+            col_team.barrier();  // both fetches done before either write
+            const int li = mine.local_row(my_grow);
+            for (int lj2 = 0; lj2 < mine.my_cols; ++lj2) {
+              mine.at(li, lj2) = theirs[static_cast<std::size_t>(lj2)];
+            }
+          } else {
+            col_team.barrier();
+          }
+        } else {
+          col_team.barrier();
+        }
+
+        // Scale the column below the diagonal and rank-1-update the rest of
+        // the panel (column places only). The pivot row segment is broadcast
+        // down the column first.
+        if (pc == pc_own) {
+          std::vector<double> rowbuf(static_cast<std::size_t>(panel_end - j));
+          const int pr_diag = (j / nb) % prg;
+          if (pr == pr_diag) {
+            const int li = mine.local_row(j);
+            for (int jj = j; jj < panel_end; ++jj) {
+              rowbuf[static_cast<std::size_t>(jj - j)] =
+                  mine.get(li, mine.local_col(jj));
+            }
+          }
+          col_team.bcast(pr_diag, rowbuf.data(), rowbuf.size());
+          const double pivot = rowbuf[0];
+          const int lj = mine.local_col(j);
+          for (int li = mine.first_local_row_ge(j + 1); li < mine.my_rows;
+               ++li) {
+            const double mult = mine.get(li, lj) / pivot;
+            mine.at(li, lj) = mult;
+            for (int jj = j + 1; jj < panel_end; ++jj) {
+              mine.at(li, mine.local_col(jj)) -=
+                  mult * rowbuf[static_cast<std::size_t>(jj - j)];
+            }
+          }
+        }
+      }
+
+      // --- L panel broadcast along process rows ---------------------------
+      std::vector<double> lbuf(
+          static_cast<std::size_t>(mine.my_rows) * w, 0.0);
+      if (pc == pc_own) {
+        for (int li = 0; li < mine.my_rows; ++li) {
+          for (int jj = 0; jj < w; ++jj) {
+            lbuf[static_cast<std::size_t>(li) * w + jj] =
+                mine.get(li, mine.local_col(col0 + jj));
+          }
+        }
+      }
+      row_team.bcast(pc_own, lbuf.data(), lbuf.size());
+
+      // --- U block row: dtrsm at the owner process row, broadcast down ----
+      const int tc0 = mine.first_local_col_ge(panel_end);
+      const int tc = mine.my_cols - tc0;  // my trailing columns
+      std::vector<double> ubuf(static_cast<std::size_t>(w) *
+                               std::max(tc, 0));
+      if (pr == pr_own && tc > 0) {
+        // L11 lives in lbuf rows whose global row is in [col0, panel_end).
+        std::vector<double> l11(static_cast<std::size_t>(w) * w);
+        for (int i = 0; i < w; ++i) {
+          const int li = mine.local_row(col0 + i);
+          for (int jj = 0; jj < w; ++jj) {
+            l11[static_cast<std::size_t>(i) * w + jj] =
+                lbuf[static_cast<std::size_t>(li) * w + jj];
+          }
+        }
+        for (int i = 0; i < w; ++i) {
+          const int li = mine.local_row(col0 + i);
+          for (int c = 0; c < tc; ++c) {
+            ubuf[static_cast<std::size_t>(i) * tc + c] =
+                mine.get(li, tc0 + c);
+          }
+        }
+        dtrsm_lower_unit(static_cast<std::size_t>(w),
+                         static_cast<std::size_t>(tc), l11.data(),
+                         static_cast<std::size_t>(w), ubuf.data(),
+                         static_cast<std::size_t>(tc));
+        for (int i = 0; i < w; ++i) {
+          const int li = mine.local_row(col0 + i);
+          for (int c = 0; c < tc; ++c) {
+            mine.at(li, tc0 + c) = ubuf[static_cast<std::size_t>(i) * tc + c];
+          }
+        }
+      }
+      if (tc > 0) {
+        col_team.bcast(pr_own, ubuf.data(), ubuf.size());
+      }
+
+      // --- trailing Schur-complement update (local dgemm) -----------------
+      const int tr0 = mine.first_local_row_ge(panel_end);
+      const int tr = mine.my_rows - tr0;
+      if (tr > 0 && tc > 0) {
+        dgemm_sub(static_cast<std::size_t>(tr), static_cast<std::size_t>(tc),
+                  static_cast<std::size_t>(w),
+                  lbuf.data() + static_cast<std::size_t>(tr0) * w,
+                  static_cast<std::size_t>(w), ubuf.data(),
+                  static_cast<std::size_t>(tc),
+                  mine.a.data() + static_cast<std::size_t>(tr0) * mine.my_cols +
+                      tc0,
+                  static_cast<std::size_t>(mine.my_cols));
+      }
+      world.barrier();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    {
+      std::scoped_lock lock(mu);
+      starts[static_cast<std::size_t>(me)] = t0;
+      stops[static_cast<std::size_t>(me)] = t1;
+    }
+
+    // --- distributed triangular solves (L y = Pb, then U x = y) ----------
+    // The RHS is replicated; per block, partial inner products from every
+    // owner fan in through a small All-Reduce, the diagonal owner solves
+    // the w x w block, and the solution block is broadcast — the standard
+    // replicated-RHS substitution for block-cyclic factors.
+    std::vector<double> pb(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      pb[static_cast<std::size_t>(i)] = hpl_rhs(params.seed, i);
+    }
+    for (int j = 0; j < n; ++j) {
+      std::swap(pb[static_cast<std::size_t>(j)],
+                pb[static_cast<std::size_t>(my_pivots[static_cast<std::size_t>(j)])]);
+    }
+    std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
+    for (int kb = 0; kb < nblocks; ++kb) {
+      const int row0 = kb * nb;
+      const int w = std::min(nb, n - row0);
+      world.allreduce(acc.data() + row0, static_cast<std::size_t>(w),
+                      ReduceOp::kSum);
+      const int diag_place = (kb % prg) * pcg + kb % pcg;
+      if (me == diag_place) {
+        for (int i = row0; i < row0 + w; ++i) {
+          double v = pb[static_cast<std::size_t>(i)] -
+                     acc[static_cast<std::size_t>(i)];
+          const int li = mine.local_row(i);
+          for (int j = row0; j < i; ++j) {
+            v -= mine.get(li, mine.local_col(j)) *
+                 y[static_cast<std::size_t>(j)];
+          }
+          y[static_cast<std::size_t>(i)] = v;  // unit diagonal
+        }
+      }
+      world.bcast(diag_place, y.data() + row0, static_cast<std::size_t>(w));
+      if (pc == kb % pcg) {
+        for (int li = mine.first_local_row_ge(row0 + w); li < mine.my_rows;
+             ++li) {
+          double sum = 0;
+          for (int j = row0; j < row0 + w; ++j) {
+            sum += mine.get(li, mine.local_col(j)) *
+                   y[static_cast<std::size_t>(j)];
+          }
+          acc[static_cast<std::size_t>(mine.global_row(li))] += sum;
+        }
+      }
+    }
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (int kb = nblocks - 1; kb >= 0; --kb) {
+      const int row0 = kb * nb;
+      const int w = std::min(nb, n - row0);
+      world.allreduce(acc.data() + row0, static_cast<std::size_t>(w),
+                      ReduceOp::kSum);
+      const int diag_place = (kb % prg) * pcg + kb % pcg;
+      if (me == diag_place) {
+        for (int i = row0 + w - 1; i >= row0; --i) {
+          double v = y[static_cast<std::size_t>(i)] -
+                     acc[static_cast<std::size_t>(i)];
+          const int li = mine.local_row(i);
+          for (int j = i + 1; j < row0 + w; ++j) {
+            v -= mine.get(li, mine.local_col(j)) *
+                 x[static_cast<std::size_t>(j)];
+          }
+          x[static_cast<std::size_t>(i)] =
+              v / mine.get(li, mine.local_col(i));
+        }
+      }
+      world.bcast(diag_place, x.data() + row0, static_cast<std::size_t>(w));
+      if (pc == kb % pcg) {
+        // Contributions of this solved block to the rows above it.
+        const int limit = mine.first_local_row_ge(row0);
+        for (int li = 0; li < limit; ++li) {
+          double sum = 0;
+          for (int j = row0; j < row0 + w; ++j) {
+            sum += mine.get(li, mine.local_col(j)) *
+                   x[static_cast<std::size_t>(j)];
+          }
+          acc[static_cast<std::size_t>(mine.global_row(li))] += sum;
+        }
+      }
+    }
+    if (me == 0) {
+      std::scoped_lock lock(mu);
+      *x_dist = x;
+    }
+  });
+
+  HplResult result;
+  result.pr = prg;
+  result.pc = pcg;
+  {
+    // Global span: earliest start to latest finish across places.
+    TimePoint first = starts[0];
+    TimePoint last = stops[0];
+    for (int p = 1; p < places; ++p) {
+      first = std::min(first, starts[static_cast<std::size_t>(p)]);
+      last = std::max(last, stops[static_cast<std::size_t>(p)]);
+    }
+    result.seconds = std::chrono::duration<double>(last - first).count();
+  }
+  const double dn = n;
+  result.gflops = (2.0 / 3.0 * dn * dn * dn + 1.5 * dn * dn) /
+                  result.seconds / 1e9;
+  result.gflops_per_place = result.gflops / places;
+
+  // --- verification (untimed): gather factors, solve, HPL residual --------
+  auto factored = [&](int gi, int gj) {
+    const int owner = ((gi / nb) % prg) * pcg + (gj / nb) % pcg;
+    const BlockCyclic& l = *(*locals)[static_cast<std::size_t>(owner)];
+    return l.get(l.local_row(gi), l.local_col(gj));
+  };
+  // Solve P A x = P b with L y = Pb, U x = y.
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) b[static_cast<std::size_t>(i)] = hpl_rhs(params.seed, i);
+  std::vector<double> pb = b;
+  for (int j = 0; j < n; ++j) {
+    std::swap(pb[static_cast<std::size_t>(j)],
+              pb[static_cast<std::size_t>((*pivots)[static_cast<std::size_t>(j)])]);
+  }
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double acc = pb[static_cast<std::size_t>(i)];
+    for (int j = 0; j < i; ++j) acc -= factored(i, j) * y[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = acc;  // unit diagonal
+  }
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int i = n - 1; i >= 0; --i) {
+    double acc = y[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n; ++j) acc -= factored(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = acc / factored(i, i);
+  }
+  // The distributed solve must agree with this gathered reference solve.
+  for (int i = 0; i < n; ++i) {
+    result.solve_agreement = std::max(
+        result.solve_agreement,
+        std::abs(x[static_cast<std::size_t>(i)] -
+                 (*x_dist)[static_cast<std::size_t>(i)]));
+  }
+  // Scaled residual against the *original* system, using the distributed x.
+  x = *x_dist;
+  double r_inf = 0, a_inf = 0, x_inf = 0, b_inf = 0;
+  for (int i = 0; i < n; ++i) {
+    double r = -b[static_cast<std::size_t>(i)];
+    double row_sum = 0;
+    for (int j = 0; j < n; ++j) {
+      const double aij = hpl_entry(params.seed, i, j);
+      r += aij * x[static_cast<std::size_t>(j)];
+      row_sum += std::abs(aij);
+    }
+    r_inf = std::max(r_inf, std::abs(r));
+    a_inf = std::max(a_inf, row_sum);
+    x_inf = std::max(x_inf, std::abs(x[static_cast<std::size_t>(i)]));
+    b_inf = std::max(b_inf, std::abs(b[static_cast<std::size_t>(i)]));
+  }
+  const double eps = 2.220446049250313e-16;
+  result.residual = r_inf / (eps * (a_inf * x_inf + b_inf) * n);
+  result.verified = result.residual < 16.0 && result.solve_agreement < 1e-8;
+  return result;
+}
+
+}  // namespace kernels

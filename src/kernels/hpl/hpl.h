@@ -1,0 +1,39 @@
+// Global HPL — HPCC benchmark (paper §5.1): LU factorization with row
+// partial pivoting of a dense linear system. Mirrors the paper's X10
+// implementation: a two-dimensional block-cyclic data distribution over a
+// Pr x Pc process grid, a right-looking factorization, row swaps as message
+// exchanges (the FINISH_ASYNC/FINISH_HERE idioms), and teams for pivot
+// search and row/column broadcasts. The local BLAS-3 kernel is our dgemm
+// stand-in for ESSL (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+namespace kernels {
+
+struct HplParams {
+  int n = 256;    ///< global matrix order
+  int nb = 32;    ///< block size (paper used 360 on Power 775)
+  std::uint64_t seed = 0x4a11ULL;
+};
+
+struct HplResult {
+  double seconds = 0;       ///< factorization time
+  double gflops = 0;        ///< (2/3 n^3 + 3/2 n^2) / t
+  double gflops_per_place = 0;
+  double residual = 0;      ///< scaled HPL residual of the solved system
+  /// max |x_distributed - x_reference|: the distributed block-fan-in solve
+  /// cross-checked against a gathered sequential substitution.
+  double solve_agreement = 0;
+  bool verified = false;    ///< residual < 16 (HPL threshold) and solves agree
+  int pr = 0, pc = 0;       ///< process grid actually used
+};
+
+/// Factorizes and solves a pseudo-random system; call from place 0.
+HplResult hpl_run(const HplParams& params);
+
+/// Deterministic matrix/vector entries (also used by verification).
+double hpl_entry(std::uint64_t seed, int i, int j);
+double hpl_rhs(std::uint64_t seed, int i);
+
+}  // namespace kernels

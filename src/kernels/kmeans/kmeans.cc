@@ -1,0 +1,169 @@
+#include "kernels/kmeans/kmeans.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "runtime/api.h"
+#include "runtime/place_group.h"
+#include "runtime/team.h"
+
+namespace kernels {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Initial centroids are the first `clusters` points (standard Forgy-like
+/// deterministic choice so every place agrees without communication).
+std::vector<double> initial_centroids(const KmeansParams& p) {
+  std::vector<double> c(static_cast<std::size_t>(p.clusters) * p.dim);
+  for (int k = 0; k < p.clusters; ++k) {
+    for (int d = 0; d < p.dim; ++d) {
+      c[static_cast<std::size_t>(k) * p.dim + d] =
+          kmeans_point_coord(p.seed, k, d);
+    }
+  }
+  return c;
+}
+
+/// One classification pass over [lo, hi): accumulates sums/counts/inertia.
+void classify(const KmeansParams& p, std::int64_t lo, std::int64_t hi,
+              const std::vector<double>& centroids, std::vector<double>& sums,
+              std::vector<std::int64_t>& counts, double& inertia) {
+  const int dim = p.dim;
+  std::vector<double> pt(static_cast<std::size_t>(dim));
+  for (std::int64_t g = lo; g < hi; ++g) {
+    for (int d = 0; d < dim; ++d) pt[static_cast<std::size_t>(d)] =
+        kmeans_point_coord(p.seed, g, d);
+    double best = std::numeric_limits<double>::max();
+    int best_k = 0;
+    for (int k = 0; k < p.clusters; ++k) {
+      const double* c = centroids.data() + static_cast<std::size_t>(k) * dim;
+      double dist = 0;
+      for (int d = 0; d < dim; ++d) {
+        const double diff = pt[static_cast<std::size_t>(d)] - c[d];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_k = k;
+      }
+    }
+    inertia += best;
+    ++counts[static_cast<std::size_t>(best_k)];
+    double* s = sums.data() + static_cast<std::size_t>(best_k) * dim;
+    for (int d = 0; d < dim; ++d) s[d] += pt[static_cast<std::size_t>(d)];
+  }
+}
+
+/// Averages sums/counts into new centroids (empty clusters keep position).
+void update_centroids(const KmeansParams& p, const std::vector<double>& sums,
+                      const std::vector<std::int64_t>& counts,
+                      std::vector<double>& centroids) {
+  for (int k = 0; k < p.clusters; ++k) {
+    const auto n = counts[static_cast<std::size_t>(k)];
+    if (n == 0) continue;
+    for (int d = 0; d < p.dim; ++d) {
+      centroids[static_cast<std::size_t>(k) * p.dim + d] =
+          sums[static_cast<std::size_t>(k) * p.dim + d] /
+          static_cast<double>(n);
+    }
+  }
+}
+
+bool inertia_monotone(const std::vector<double>& inertia) {
+  for (std::size_t i = 1; i < inertia.size(); ++i) {
+    if (inertia[i] > inertia[i - 1] * (1 + 1e-9)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double kmeans_point_coord(std::uint64_t seed, std::int64_t global_id, int d) {
+  const std::uint64_t h =
+      mix(seed ^ mix(static_cast<std::uint64_t>(global_id) * 1315423911ULL +
+                     static_cast<std::uint64_t>(d)));
+  return static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+}
+
+KmeansResult kmeans_run(const KmeansParams& params) {
+  using namespace apgas;
+  const int places = num_places();
+  const std::int64_t per_place = params.points_per_place;
+
+  auto centroids = std::make_shared<std::vector<double>>(
+      initial_centroids(params));
+  auto inertia_hist = std::make_shared<std::vector<double>>();
+  std::mutex mu;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  PlaceGroup::world().broadcast([&params, centroids, inertia_hist, &mu,
+                                 per_place] {
+    Team team = Team::world();
+    // Every place keeps its own centroid copy; all copies stay identical
+    // because the All-Reduces return identical sums everywhere.
+    std::vector<double> local_centroids = *centroids;
+    const std::int64_t lo = here() * per_place;
+    const std::int64_t hi = lo + per_place;
+    for (int it = 0; it < params.iterations; ++it) {
+      std::vector<double> sums(
+          static_cast<std::size_t>(params.clusters) * params.dim, 0.0);
+      std::vector<std::int64_t> counts(
+          static_cast<std::size_t>(params.clusters), 0);
+      double inertia = 0;
+      classify(params, lo, hi, local_centroids, sums, counts, inertia);
+      // The paper's two All-Reduce collectives per iteration.
+      team.allreduce(sums.data(), sums.size(), ReduceOp::kSum);
+      team.allreduce(counts.data(), counts.size(), ReduceOp::kSum);
+      team.allreduce(&inertia, 1, ReduceOp::kSum);
+      update_centroids(params, sums, counts, local_centroids);
+      if (here() == 0) {
+        std::scoped_lock lock(mu);
+        inertia_hist->push_back(inertia);
+      }
+    }
+    if (here() == 0) {
+      std::scoped_lock lock(mu);
+      *centroids = local_centroids;
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  KmeansResult result;
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.centroids = *centroids;
+  result.inertia_per_iter = *inertia_hist;
+  result.verified = inertia_monotone(result.inertia_per_iter);
+  (void)places;
+  return result;
+}
+
+KmeansResult kmeans_sequential(const KmeansParams& params, int total_points) {
+  auto centroids = initial_centroids(params);
+  KmeansResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int it = 0; it < params.iterations; ++it) {
+    std::vector<double> sums(
+        static_cast<std::size_t>(params.clusters) * params.dim, 0.0);
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(params.clusters),
+                                     0);
+    double inertia = 0;
+    classify(params, 0, total_points, centroids, sums, counts, inertia);
+    update_centroids(params, sums, counts, centroids);
+    result.inertia_per_iter.push_back(inertia);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.centroids = std::move(centroids);
+  result.verified = inertia_monotone(result.inertia_per_iter);
+  return result;
+}
+
+}  // namespace kernels

@@ -1,0 +1,36 @@
+// K-Means clustering, Lloyd's algorithm (paper §7): points are partitioned
+// across places; each iteration classifies locally by nearest centroid,
+// computes per-place partial sums, and merges them with two All-Reduce
+// collectives (sums and counts) to produce next-iteration centroids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kernels {
+
+struct KmeansParams {
+  int points_per_place = 4000;  // paper: 40000 per place
+  int clusters = 64;            // paper: 4096
+  int dim = 12;
+  int iterations = 5;
+  std::uint64_t seed = 42;
+};
+
+struct KmeansResult {
+  double seconds = 0;
+  std::vector<double> centroids;  // clusters x dim, final
+  std::vector<double> inertia_per_iter;
+  bool verified = false;  ///< inertia monotone non-increasing (Lloyd's)
+};
+
+KmeansResult kmeans_run(const KmeansParams& params);
+
+/// Single-threaded reference (same deterministic point/centroid generation);
+/// used by tests to check the distributed run is exact.
+KmeansResult kmeans_sequential(const KmeansParams& params, int total_points);
+
+/// Deterministic synthetic point cloud: point `global_id`, dimension d.
+double kmeans_point_coord(std::uint64_t seed, std::int64_t global_id, int d);
+
+}  // namespace kernels

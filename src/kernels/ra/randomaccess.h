@@ -1,0 +1,30 @@
+// Global RandomAccess (GUPS) — HPCC benchmark (paper §5.1): random remote
+// XOR updates against a table distributed over all places. The X10
+// implementation backs the table with congruent (registered, huge-page)
+// memory and drives updates through the Torrent's GUPS RDMA feature; here
+// the same path is Transport::remote_xor64 on the congruent arena.
+#pragma once
+
+#include <cstdint>
+
+namespace kernels {
+
+struct RaParams {
+  int log2_table_per_place = 14;  ///< 2^k 64-bit words per place
+  int updates_per_entry = 4;      ///< HPCC prescribes 4x the table size
+};
+
+struct RaResult {
+  double seconds = 0;
+  double gups = 0;          ///< giga-updates per second, all places
+  double gups_per_place = 0;
+  std::uint64_t updates = 0;
+  double error_fraction = 0;  ///< HPCC tolerates < 1%; atomic GUPS gives 0
+  bool verified = false;
+};
+
+/// Runs RandomAccess; requires a power-of-two number of places (as the
+/// paper's runs do — the global index mask needs a power-of-two table).
+RaResult randomaccess_run(const RaParams& params);
+
+}  // namespace kernels

@@ -1,0 +1,35 @@
+// EP Stream (Triad) — HPCC benchmark (paper §5.1): a = b + alpha*c at every
+// place; measures sustainable local memory bandwidth. The X10 implementation
+// launches one activity per place with a PlaceGroup broadcast and backs the
+// vectors with huge-page (congruent) storage.
+#pragma once
+
+#include <cstddef>
+
+namespace kernels {
+
+struct StreamParams {
+  std::size_t elements_per_place = 1u << 20;
+  int iterations = 10;
+  bool use_congruent = true;  ///< huge-page arena vs plain heap vectors
+  double alpha = 3.0;
+  /// Run the full STREAM quartet (Copy/Scale/Add/Triad); the paper reports
+  /// Triad only, which remains the headline number.
+  bool full_suite = false;
+};
+
+struct StreamResult {
+  double seconds = 0;
+  double gb_per_sec_total = 0;      // Triad
+  double gb_per_sec_per_place = 0;  // Triad
+  // Populated when full_suite is set:
+  double copy_gbs = 0;
+  double scale_gbs = 0;
+  double add_gbs = 0;
+  bool verified = false;
+};
+
+/// Runs the triad at every place (call from place 0 inside a runtime).
+StreamResult stream_run(const StreamParams& params);
+
+}  // namespace kernels

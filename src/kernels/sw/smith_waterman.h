@@ -1,0 +1,40 @@
+// Smith-Waterman local alignment (paper §7): the best partial match of a
+// short DNA sequence against a long one. Parallelized exactly as the paper
+// does — the long sequence is split into overlapping fragments, each place
+// aligns the short sequence against its fragment, and the global best is the
+// max of the per-fragment bests (an All-Reduce).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kernels {
+
+struct SwParams {
+  int short_len = 200;          // paper: 4000
+  std::int64_t long_per_place = 20000;  // paper: 40000 per place
+  int iterations = 1;           // paper reports 5-iteration times
+  std::uint64_t seed = 7;
+  int match = 2, mismatch = -1, gap = -1;
+};
+
+struct SwResult {
+  double seconds = 0;
+  int best_score = 0;
+  double cells_per_sec = 0;
+  bool verified = false;  ///< distributed max == sequential full-string max
+};
+
+SwResult smith_waterman_run(const SwParams& params, bool verify = false);
+
+/// Deterministic DNA base of the long sequence at global position i.
+char sw_long_base(std::uint64_t seed, std::int64_t i);
+
+/// The short query sequence.
+std::string sw_short_seq(const SwParams& params);
+
+/// Reference: best SW score of `query` against long[lo, hi).
+int sw_scan(const std::string& query, std::uint64_t seed, std::int64_t lo,
+            std::int64_t hi, int match, int mismatch, int gap);
+
+}  // namespace kernels

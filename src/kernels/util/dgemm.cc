@@ -1,0 +1,62 @@
+#include "kernels/util/dgemm.h"
+
+#include <algorithm>
+
+namespace kernels {
+
+namespace {
+
+constexpr std::size_t kBlock = 64;
+
+template <int Sign>
+void dgemm_impl(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                std::size_t lda, const double* b, std::size_t ldb, double* c,
+                std::size_t ldc) {
+  // Blocked i-k-j: streams B rows, accumulates into C rows — cache-friendly
+  // without requiring transposes.
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::size_t i1 = std::min(m, i0 + kBlock);
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlock) {
+      const std::size_t k1 = std::min(k, k0 + kBlock);
+      for (std::size_t i = i0; i < i1; ++i) {
+        double* ci = c + i * ldc;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const double aik = Sign > 0 ? a[i * lda + kk] : -a[i * lda + kk];
+          const double* bk = b + kk * ldb;
+          for (std::size_t j = 0; j < n; ++j) {
+            ci[j] += aik * bk[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void dgemm_acc(std::size_t m, std::size_t n, std::size_t k, const double* a,
+               std::size_t lda, const double* b, std::size_t ldb, double* c,
+               std::size_t ldc) {
+  dgemm_impl<1>(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void dgemm_sub(std::size_t m, std::size_t n, std::size_t k, const double* a,
+               std::size_t lda, const double* b, std::size_t ldb, double* c,
+               std::size_t ldc) {
+  dgemm_impl<-1>(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void dtrsm_lower_unit(std::size_t k, std::size_t n, const double* l,
+                      std::size_t lda, double* b, std::size_t ldb) {
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t p = 0; p < i; ++p) {
+      const double lip = l[i * lda + p];
+      if (lip == 0.0) continue;
+      const double* bp = b + p * ldb;
+      double* bi = b + i * ldb;
+      for (std::size_t j = 0; j < n; ++j) bi[j] -= lip * bp[j];
+    }
+  }
+}
+
+}  // namespace kernels

@@ -1,0 +1,24 @@
+// Local BLAS-3 kernel used by HPL (the paper links IBM ESSL; this is our
+// portable stand-in — see DESIGN.md §2). Row-major, C += A * B.
+#pragma once
+
+#include <cstddef>
+
+namespace kernels {
+
+/// C[m x n] += A[m x k] * B[k x n], row-major with leading dimensions.
+void dgemm_acc(std::size_t m, std::size_t n, std::size_t k, const double* a,
+               std::size_t lda, const double* b, std::size_t ldb, double* c,
+               std::size_t ldc);
+
+/// C[m x n] -= A[m x k] * B[k x n] (the Schur-complement update HPL needs).
+void dgemm_sub(std::size_t m, std::size_t n, std::size_t k, const double* a,
+               std::size_t lda, const double* b, std::size_t ldb, double* c,
+               std::size_t ldc);
+
+/// Triangular solve: B <- L^{-1} B with L unit lower triangular [k x k]
+/// (row-major, leading dimension lda); B is [k x n] with leading dim ldb.
+void dtrsm_lower_unit(std::size_t k, std::size_t n, const double* l,
+                      std::size_t lda, double* b, std::size_t ldb);
+
+}  // namespace kernels

@@ -1,0 +1,61 @@
+#include "kernels/util/fft1d.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace kernels {
+
+namespace {
+
+void fft_radix2(Complex* a, std::size_t n, bool inverse) {
+  assert((n & (n - 1)) == 0 && "fft size must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const Complex wl(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) a[i] *= inv;
+  }
+}
+
+}  // namespace
+
+void fft_forward(Complex* data, std::size_t n) { fft_radix2(data, n, false); }
+
+void fft_inverse(Complex* data, std::size_t n) { fft_radix2(data, n, true); }
+
+std::vector<Complex> dft_naive(const Complex* data, std::size_t n) {
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2 * std::numbers::pi * static_cast<double>(k) *
+                         static_cast<double>(j) / static_cast<double>(n);
+      sum += data[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+}  // namespace kernels

@@ -1,0 +1,22 @@
+// Local 1D complex FFT used by the Global FFT kernel (the paper links FFTE;
+// this portable radix-2 implementation is our stand-in — DESIGN.md §2).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace kernels {
+
+using Complex = std::complex<double>;
+
+/// In-place forward DFT of n = 2^k points.
+void fft_forward(Complex* data, std::size_t n);
+
+/// In-place inverse DFT (scaled by 1/n).
+void fft_inverse(Complex* data, std::size_t n);
+
+/// Reference O(n^2) DFT for verification.
+std::vector<Complex> dft_naive(const Complex* data, std::size_t n);
+
+}  // namespace kernels

@@ -1,0 +1,23 @@
+// The HPCC RandomAccess pseudo-random stream: x_{n+1} = 2*x_n over GF(2)[x]
+// modulo the primitive polynomial x^63 + x^2 + x + 1 (POLY = 7), with the
+// standard starts() jump-ahead so every place can generate its slice of the
+// global update stream independently.
+#pragma once
+
+#include <cstdint>
+
+namespace kernels {
+
+inline constexpr std::uint64_t kHpccPoly = 0x0000000000000007ULL;
+inline constexpr std::uint64_t kHpccPeriod = 1317624576693539401LL;
+
+/// Next element of the stream.
+inline std::uint64_t hpcc_next(std::uint64_t x) {
+  return (x << 1) ^ ((static_cast<std::int64_t>(x) < 0) ? kHpccPoly : 0);
+}
+
+/// Element number `n` of the stream (HPCC's HPCC_starts): O(log n) via
+/// repeated squaring of the step map over GF(2).
+std::uint64_t hpcc_starts(std::int64_t n);
+
+}  // namespace kernels

@@ -1,0 +1,55 @@
+#include "kernels/util/rmat.h"
+
+#include <random>
+
+namespace kernels {
+
+CsrGraph rmat_generate(const RmatParams& params) {
+  const std::int64_t v = std::int64_t{1} << params.scale;
+  const std::int64_t e = v * params.edge_factor;
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  edges.reserve(static_cast<std::size_t>(e));
+  for (std::int64_t i = 0; i < e; ++i) {
+    std::int64_t row = 0;
+    std::int64_t col = 0;
+    for (int bit = params.scale - 1; bit >= 0; --bit) {
+      const double r = u(rng);
+      if (r < params.a) {
+        // top-left quadrant
+      } else if (r < params.a + params.b) {
+        col |= std::int64_t{1} << bit;
+      } else if (r < params.a + params.b + params.c) {
+        row |= std::int64_t{1} << bit;
+      } else {
+        row |= std::int64_t{1} << bit;
+        col |= std::int64_t{1} << bit;
+      }
+    }
+    if (row == col) continue;  // drop self-loops
+    edges.emplace_back(static_cast<std::int32_t>(row),
+                       static_cast<std::int32_t>(col));
+  }
+
+  CsrGraph g;
+  g.num_vertices = v;
+  g.offsets.assign(static_cast<std::size_t>(v) + 1, 0);
+  for (const auto& [s, d] : edges) {
+    ++g.offsets[static_cast<std::size_t>(s) + 1];
+    ++g.offsets[static_cast<std::size_t>(d) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets.size(); ++i) {
+    g.offsets[i] += g.offsets[i - 1];
+  }
+  g.adjacency.resize(static_cast<std::size_t>(g.offsets.back()));
+  std::vector<std::int64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (const auto& [s, d] : edges) {
+    g.adjacency[static_cast<std::size_t>(cursor[static_cast<std::size_t>(s)]++)] = d;
+    g.adjacency[static_cast<std::size_t>(cursor[static_cast<std::size_t>(d)]++)] = s;
+  }
+  return g;
+}
+
+}  // namespace kernels

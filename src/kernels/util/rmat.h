@@ -1,0 +1,36 @@
+// R-MAT recursive graph generator (Chakrabarti et al. [6]) and a CSR graph,
+// used by the Betweenness Centrality kernel (paper §7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kernels {
+
+struct RmatParams {
+  int scale = 10;        ///< 2^scale vertices
+  int edge_factor = 8;   ///< edges = edge_factor * vertices
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// Compressed-sparse-row undirected graph (each edge stored both ways,
+/// self-loops dropped, duplicates kept — harmless for Brandes).
+struct CsrGraph {
+  std::int64_t num_vertices = 0;
+  std::vector<std::int64_t> offsets;  // size V+1
+  std::vector<std::int32_t> adjacency;
+
+  [[nodiscard]] std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(adjacency.size()) / 2;
+  }
+  [[nodiscard]] std::int64_t degree(std::int64_t v) const {
+    return offsets[static_cast<std::size_t>(v) + 1] -
+           offsets[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Generates an R-MAT graph.
+CsrGraph rmat_generate(const RmatParams& params);
+
+}  // namespace kernels

@@ -1,0 +1,102 @@
+#include "kernels/util/sha1.h"
+
+#include <cstring>
+
+namespace kernels {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+struct Sha1Ctx {
+  std::uint32_t h[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u,
+                        0xC3D2E1F0u};
+
+  void block(const std::uint8_t* p) {
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (std::uint32_t(p[4 * i]) << 24) |
+             (std::uint32_t(p[4 * i + 1]) << 16) |
+             (std::uint32_t(p[4 * i + 2]) << 8) | std::uint32_t(p[4 * i + 3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int i = 0; i < 80; ++i) {
+      std::uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5A827999u;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1u;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDCu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6u;
+      }
+      const std::uint32_t t = rotl(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = rotl(b, 30);
+      b = a;
+      a = t;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+};
+
+}  // namespace
+
+Sha1Digest sha1(const void* data, std::size_t len) {
+  Sha1Ctx ctx;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t remaining = len;
+  while (remaining >= 64) {
+    ctx.block(p);
+    p += 64;
+    remaining -= 64;
+  }
+  // Padding: 0x80, zeros, 64-bit big-endian bit length.
+  std::uint8_t tail[128] = {};
+  std::memcpy(tail, p, remaining);
+  tail[remaining] = 0x80;
+  const std::size_t tail_len = remaining + 1 <= 56 ? 64 : 128;
+  const std::uint64_t bits = static_cast<std::uint64_t>(len) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_len - 1 - i] = static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+  ctx.block(tail);
+  if (tail_len == 128) ctx.block(tail + 64);
+
+  Sha1Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(ctx.h[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(ctx.h[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(ctx.h[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(ctx.h[i]);
+  }
+  return out;
+}
+
+std::string sha1_hex(const Sha1Digest& d) {
+  static const char* hex = "0123456789abcdef";
+  std::string s;
+  s.reserve(40);
+  for (std::uint8_t b : d) {
+    s.push_back(hex[b >> 4]);
+    s.push_back(hex[b & 0xf]);
+  }
+  return s;
+}
+
+}  // namespace kernels

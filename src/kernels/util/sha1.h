@@ -1,0 +1,21 @@
+// SHA-1 (FIPS 180-1). UTS defines its splittable random stream in terms of
+// SHA-1 over (parent state || child index); the paper's X10 code calls a
+// native C routine for this, which we provide here from scratch.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace kernels {
+
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// One-shot SHA-1 of `len` bytes.
+Sha1Digest sha1(const void* data, std::size_t len);
+
+/// Hex string of a digest (tests against FIPS known-answer vectors).
+std::string sha1_hex(const Sha1Digest& d);
+
+}  // namespace kernels

@@ -1,0 +1,93 @@
+// Unbalanced Tree Search over geometric trees (paper §6): counts the nodes
+// of a tree generated on the fly from a SHA-1 splittable random stream,
+// balanced across places by the lifeline GLB. The work-bag representation is
+// the paper's §6.1 refinement: *intervals* of sibling indices rather than
+// expanded node lists, with thieves taking fragments of every interval to
+// counter the depth-cutoff bias.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "glb/glb.h"
+#include "kernels/util/splittable_rng.h"
+
+namespace kernels {
+
+enum class UtsShape {
+  kGeometric,  ///< the paper's workload: b0 = 4, depth cut-off d
+  kBinomial,   ///< uts.c BIN: deep, narrow, extreme-variance trees (§6.1
+               ///< mentions them as the shape interval stealing helps less)
+};
+
+struct UtsParams {
+  UtsShape shape = UtsShape::kGeometric;
+  double b0 = 4.0;        ///< geometric branching factor (paper: 4)
+  std::uint32_t seed = 19;  ///< root seed (paper: r = 19)
+  int depth = 10;         ///< cut-off d (paper: 14 at 1 place .. 22 at scale)
+  int bin_root = 64;      ///< binomial: root child count
+  int bin_m = 4;          ///< binomial: children on success
+  double bin_q = 0.23;    ///< binomial: success probability (m*q < 1)
+  glb::GlbConfig glb;
+};
+
+struct UtsResult {
+  std::uint64_t nodes = 0;
+  std::uint64_t hashes = 0;
+  double seconds = 0;
+  double mnodes_per_sec = 0;
+  double mnodes_per_sec_per_place = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t resuscitations = 0;
+  bool verified = false;  ///< optional check against the sequential count
+};
+
+/// The GLB work bag: a list of (parent state, depth, sibling interval).
+class UtsBag {
+ public:
+  UtsBag() = default;
+  UtsBag(const UtsParams& params, bool with_root);
+
+  std::size_t process(std::size_t n);
+  UtsBag split();
+  void merge(UtsBag&& other);
+  [[nodiscard]] bool empty() const { return frames_.empty(); }
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] std::uint64_t nodes() const { return nodes_; }
+  [[nodiscard]] std::uint64_t hashes() const { return hashes_; }
+
+  /// Legacy [35] representation: split() detaches expanded single-node
+  /// frames from the tail instead of interval fragments.
+  bool legacy_lists = false;
+
+ private:
+  struct Frame {
+    UtsNodeState state;
+    int depth = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+  };
+  struct TreeShape {
+    UtsShape shape = UtsShape::kGeometric;
+    double b0 = 4.0;
+    int max_depth = 0;
+    int bin_root = 0;
+    int bin_m = 0;
+    double bin_q = 0.0;
+  };
+  [[nodiscard]] int num_children(const UtsNodeState& s, int depth) const;
+
+  std::vector<Frame> frames_;
+  TreeShape tree_;
+  std::uint64_t nodes_ = 0;
+  std::uint64_t hashes_ = 0;
+};
+
+/// Distributed UTS via GLB; call from place 0.
+UtsResult uts_run(const UtsParams& params, bool verify_sequential = false);
+
+/// Reference sequential traversal (no runtime involvement).
+UtsResult uts_sequential(const UtsParams& params);
+
+}  // namespace kernels

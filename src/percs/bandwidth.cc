@@ -1,0 +1,39 @@
+#include "percs/bandwidth.h"
+
+#include <algorithm>
+
+namespace percs {
+
+double BandwidthModel::intra_supernode_per_octant(int octants) const {
+  if (octants <= 1) return injection_;
+  // Each octant sprays (octants-1) peer flows over its direct L links; the
+  // usable aggregate is the smaller of the injection ceiling and the summed
+  // link capacity toward the partition.
+  const int per_drawer = shape_.octants_per_drawer;
+  const int ll_peers = std::min(octants - 1, per_drawer - 1);
+  const int lr_peers = octants - 1 - ll_peers;
+  const double link_sum = ll_peers * links_.ll + lr_peers * links_.lr;
+  return std::min(injection_, link_sum);
+}
+
+double BandwidthModel::dlink_ceiling_per_octant(int supernodes) const {
+  if (supernodes <= 1) return injection_;
+  const double s = supernodes;
+  const int h = shape_.octants_per_supernode();
+  // Aggregate D capacity out of one supernode: 80 GB/s to each of the S-1
+  // peers. In an all-to-all, each of its H octants sends a fraction
+  // (S-1)/S of its traffic across those links.
+  const double capacity = links_.d_combined * (s - 1.0);
+  const double demand_share = (s - 1.0) / s;
+  return capacity / (h * demand_share);  // = 80 * S / H
+}
+
+double BandwidthModel::alltoall_per_octant(int octants) const {
+  const int per_sn = shape_.octants_per_supernode();
+  if (octants <= per_sn) return intra_supernode_per_octant(octants);
+  const int supernodes = (octants + per_sn - 1) / per_sn;
+  return std::min(intra_supernode_per_octant(per_sn),
+                  dlink_ceiling_per_octant(supernodes));
+}
+
+}  // namespace percs

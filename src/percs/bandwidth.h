@@ -1,0 +1,44 @@
+// Analytic cross-section bandwidth model of the PERCS interconnect
+// (paper §4 and Tanase et al. [38]).
+//
+// For an All-To-All over a partition of the machine, the achievable
+// per-octant bandwidth is governed by two ceilings:
+//   * the per-octant interconnect injection bandwidth, and
+//   * the aggregate D-link bandwidth leaving each supernode.
+// With one supernode or less the first ceiling binds. Adding the second
+// supernode makes (S-1)/S of all traffic cross the D links, whose capacity
+// per supernode grows like 80*(S-1) GB/s while the demand grows with the 32
+// resident octants — hence the paper's "sharp drop at two supernodes,
+// followed by a slow recovery, followed by a plateau".
+#pragma once
+
+#include "percs/topology.h"
+
+namespace percs {
+
+class BandwidthModel {
+ public:
+  explicit BandwidthModel(MachineShape shape = {}, LinkBandwidth links = {},
+                          double per_octant_injection_gbs = 192.0)
+      : shape_(shape), links_(links), injection_(per_octant_injection_gbs) {}
+
+  /// Achievable per-octant All-To-All bandwidth (GB/s) for a partition of
+  /// `octants` octants filled supernode by supernode.
+  [[nodiscard]] double alltoall_per_octant(int octants) const;
+
+  /// The D-link ceiling alone (GB/s per octant) for a partition spanning
+  /// `supernodes` full supernodes.
+  [[nodiscard]] double dlink_ceiling_per_octant(int supernodes) const;
+
+  /// Effective per-octant injection ceiling for all-to-all within up to one
+  /// supernode (accounts for L-link mix; single-octant partitions are
+  /// loopback, reported as the injection ceiling).
+  [[nodiscard]] double intra_supernode_per_octant(int octants) const;
+
+ private:
+  MachineShape shape_;
+  LinkBandwidth links_;
+  double injection_;
+};
+
+}  // namespace percs

@@ -1,0 +1,41 @@
+#include "percs/topology.h"
+
+namespace percs {
+
+Coord Machine::coord_of_core(long core) const {
+  assert(core >= 0 && core < shape_.total_cores());
+  Coord c;
+  c.core = static_cast<int>(core % shape_.cores_per_octant);
+  long octant = core / shape_.cores_per_octant;
+  c.octant = static_cast<int>(octant % shape_.octants_per_drawer);
+  long drawer = octant / shape_.octants_per_drawer;
+  c.drawer = static_cast<int>(drawer % shape_.drawers_per_supernode);
+  c.supernode = static_cast<int>(drawer / shape_.drawers_per_supernode);
+  return c;
+}
+
+LinkType Machine::link(int octant_a, int octant_b) const {
+  if (octant_a == octant_b) return LinkType::kSameOctant;
+  const int per_sn = shape_.octants_per_supernode();
+  const int sn_a = octant_a / per_sn;
+  const int sn_b = octant_b / per_sn;
+  if (sn_a != sn_b) return LinkType::kD;
+  const int drawer_a = octant_a / shape_.octants_per_drawer;
+  const int drawer_b = octant_b / shape_.octants_per_drawer;
+  return drawer_a == drawer_b ? LinkType::kLL : LinkType::kLR;
+}
+
+int Machine::hops(int octant_a, int octant_b) const {
+  switch (link(octant_a, octant_b)) {
+    case LinkType::kSameOctant:
+      return 0;
+    case LinkType::kLL:
+    case LinkType::kLR:
+      return 1;
+    case LinkType::kD:
+      return 3;  // direct-striped L-D-L route
+  }
+  return -1;
+}
+
+}  // namespace percs

@@ -1,0 +1,62 @@
+// Activities and their link to the governing finish (paper §2.1, §3.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace apgas {
+
+class FinishHome;
+
+/// Finish implementation selection (paper §3.1). `kAuto` is what plain
+/// `finish` gives you: it starts as a place-local atomic counter and upgrades
+/// to the general distributed (transit-matrix) protocol on the first remote
+/// spawn. The other values correspond to the paper's pragmas.
+enum class Pragma : std::uint8_t {
+  kAuto,     // dynamic: local counter, upgrade to kDefault on first `at`
+  kLocal,    // FINISH_LOCAL: asserts no remote spawns
+  kAsync,    // FINISH_ASYNC: single (possibly remote) activity
+  kHere,     // FINISH_HERE: credit-based round trips
+  kSpmd,     // FINISH_SPMD: n remote activities, no stray sub-activities
+  kDense,    // FINISH_DENSE: default counting + software-routed control msgs
+  kDefault,  // force the general transit-matrix protocol from the start
+};
+
+/// Globally unique identity of a finish: its home place plus a per-place
+/// sequence number. Control messages carry keys; places resolve them against
+/// their registries.
+struct FinishKey {
+  int home = -1;
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] bool valid() const { return home >= 0; }
+  friend bool operator==(const FinishKey&, const FinishKey&) = default;
+};
+
+struct FinishKeyHash {
+  std::size_t operator()(const FinishKey& k) const {
+    return std::hash<std::uint64_t>()(
+        (static_cast<std::uint64_t>(k.home) << 40) ^ k.seq);
+  }
+};
+
+/// What an activity needs in order to account to its governing finish.
+/// At the finish's home place we hold a direct pointer; elsewhere we carry
+/// the key + protocol and resolve against the place's remote-block registry.
+struct FinCtx {
+  FinishHome* home = nullptr;  ///< non-null only at the finish's home place
+  FinishKey key;
+  Pragma mode = Pragma::kAuto;
+};
+
+/// A spawned task. `has_credit` is FINISH_HERE bookkeeping: the credit
+/// travels with the task chain and returns to the home place (§3.1).
+struct Activity {
+  std::function<void()> body;
+  FinCtx fin;                 // invalid key + null home = system activity
+  bool has_credit = false;
+  bool remote_origin = false;  // arrived via the transport (an `at ... async`)
+  int spawn_count = 0;  // credit-carrying children (FINISH_HERE accounting)
+};
+
+}  // namespace apgas

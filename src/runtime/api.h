@@ -1,0 +1,247 @@
+// The user-facing APGAS API (paper §2): finish / async / at, GlobalRef,
+// PlaceLocal. These are free functions usable from inside any activity.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/congruent.h"
+#include "runtime/finish.h"
+#include "runtime/runtime.h"
+
+namespace apgas {
+
+/// `finish S` with an explicit implementation pragma (paper §3.1). The body
+/// runs inline in the current activity; wait() blocks (cooperatively) until
+/// every transitively spawned activity has terminated. Exceptions from the
+/// body and from governed activities are rethrown here (body's first).
+inline void finish(Pragma pragma, const std::function<void()>& body) {
+  Runtime& rt = Runtime::get();
+  FinishHome fh(rt, pragma);
+  FinishHome* prev = detail::tl_open_finish;
+  detail::tl_open_finish = &fh;
+  std::exception_ptr body_ex;
+  try {
+    body();
+  } catch (...) {
+    body_ex = std::current_exception();
+  }
+  detail::tl_open_finish = prev;
+  fh.wait();
+  if (body_ex) std::rethrow_exception(body_ex);
+}
+
+/// Plain `finish S`: starts as a place-local counter and upgrades to the
+/// distributed default protocol on the first remote spawn.
+inline void finish(const std::function<void()>& body) {
+  finish(Pragma::kAuto, body);
+}
+
+/// Runs `body` under a general finish and reports which specialized
+/// implementation its observed pattern matches — the §3.1 implementation-
+/// selection analysis as a profiling tool. Use it to decide which pragma to
+/// annotate a hot finish with.
+inline Pragma profile_finish(const std::function<void()>& body) {
+  Runtime& rt = Runtime::get();
+  FinishHome fh(rt, Pragma::kDefault);
+  FinishHome* prev = detail::tl_open_finish;
+  detail::tl_open_finish = &fh;
+  std::exception_ptr body_ex;
+  try {
+    body();
+  } catch (...) {
+    body_ex = std::current_exception();
+  }
+  detail::tl_open_finish = prev;
+  fh.wait();
+  if (body_ex) std::rethrow_exception(body_ex);
+  return fh.recommended_pragma();
+}
+
+/// `async S`: spawns a local activity under the innermost enclosing finish.
+inline void async(std::function<void()> f) {
+  Runtime& rt = Runtime::get();
+  FinCtx ctx = current_spawn_ctx();
+  Activity act;
+  act.body = std::move(f);
+  act.fin = ctx;
+  if (ctx.home != nullptr) {
+    const bool parent_credit = detail::tl_open_finish == nullptr &&
+                               detail::tl_activity != nullptr &&
+                               detail::tl_activity->has_credit &&
+                               ctx.home->mode() == Pragma::kHere;
+    if (parent_credit) {
+      // FINISH_HERE: children of credit-carrying activities carry credits.
+      act.has_credit = true;
+      ++detail::tl_activity->spawn_count;
+    } else {
+      ctx.home->local_spawn();
+    }
+  } else {
+    switch (ctx.mode) {
+      case Pragma::kDefault:
+      case Pragma::kDense:
+        fin_remote_local_spawn(rt, ctx);
+        break;
+      case Pragma::kHere:
+        act.has_credit = true;
+        ++detail::tl_activity->spawn_count;
+        break;
+      default:
+        assert(false &&
+               "FINISH_ASYNC/FINISH_SPMD remote activities must not spawn "
+               "under the governing finish");
+    }
+  }
+  rt.sched(here()).push(std::move(act));
+}
+
+/// `at(p) async S`: active message — spawns an activity at place p under the
+/// innermost enclosing finish. Non-blocking.
+inline void asyncAt(int p, std::function<void()> f) {
+  Runtime& rt = Runtime::get();
+  if (p == here()) {
+    async(std::move(f));
+    return;
+  }
+  FinCtx ctx = current_spawn_ctx();
+  bool with_credit = false;
+  if (ctx.home != nullptr) {
+    const bool parent_credit = detail::tl_open_finish == nullptr &&
+                               detail::tl_activity != nullptr &&
+                               detail::tl_activity->has_credit;
+    ctx.home->remote_spawn(p, parent_credit);
+    ctx.mode = ctx.home->mode();  // may have upgraded kAuto -> kDefault
+    with_credit = ctx.mode == Pragma::kHere;
+    if (with_credit && parent_credit) ++detail::tl_activity->spawn_count;
+  } else {
+    with_credit = fin_before_remote_spawn(rt, ctx, p,
+                                          detail::tl_activity->has_credit);
+    if (with_credit) ++detail::tl_activity->spawn_count;
+  }
+  FinCtx wire = ctx;
+  wire.home = nullptr;  // resolved at the destination
+  rt.send_task(p, std::move(f), wire, with_credit);
+}
+
+/// Blocking `at(p) e`: shifts to place p, evaluates f, and returns the
+/// result. Implemented as its own FINISH_HERE round trip — exactly the
+/// specialized protocol the paper says SPMD codes use for "gets".
+template <typename F>
+auto at(int p, F&& f) -> std::invoke_result_t<F> {
+  using R = std::invoke_result_t<F>;
+  if (p == here()) return std::forward<F>(f)();
+  const int home = here();
+  std::exception_ptr ex;
+  if constexpr (std::is_void_v<R>) {
+    finish(Pragma::kHere, [&] {
+      asyncAt(p, [&ex, home, fn = std::forward<F>(f)] {
+        std::exception_ptr thrown;
+        try {
+          fn();
+        } catch (...) {
+          thrown = std::current_exception();
+        }
+        asyncAt(home, [&ex, thrown] { ex = thrown; });
+      });
+    });
+    if (ex) std::rethrow_exception(ex);
+  } else {
+    std::optional<R> slot;
+    finish(Pragma::kHere, [&] {
+      asyncAt(p, [&slot, &ex, home, fn = std::forward<F>(f)] {
+        std::optional<R> value;
+        std::exception_ptr thrown;
+        try {
+          value.emplace(fn());
+        } catch (...) {
+          thrown = std::current_exception();
+        }
+        // The value rides the returning async — this models the result
+        // serialization X10 performs for `at` expressions.
+        asyncAt(home, [&slot, &ex, v = std::move(value), thrown]() mutable {
+          slot = std::move(v);
+          ex = thrown;
+        });
+      });
+    });
+    if (ex) std::rethrow_exception(ex);
+    return std::move(*slot);
+  }
+}
+
+/// Fire-and-forget X10RT-level active message, *not* governed by any finish.
+/// Library plumbing (e.g. GLB steal requests) uses this; user code should
+/// prefer asyncAt.
+inline void immediate_at(int p, std::function<void()> fn,
+                         x10rt::MsgType type = x10rt::MsgType::kOther,
+                         std::size_t bytes = 32) {
+  x10rt::Message m;
+  m.src = here();
+  m.type = type;
+  m.bytes = bytes;
+  m.run = std::move(fn);
+  Runtime::get().transport().send(p, std::move(m));
+}
+
+/// A global reference: freely copyable between places, dereferenceable only
+/// at its home place (checked, as X10's type system does statically).
+template <typename T>
+class GlobalRef {
+ public:
+  GlobalRef() = default;
+  explicit GlobalRef(T* obj) : home_(here()), ptr_(obj) {}
+
+  [[nodiscard]] int home() const { return home_; }
+  [[nodiscard]] bool valid() const { return home_ >= 0; }
+
+  T& operator*() const {
+    assert(here() == home_ && "GlobalRef dereferenced away from home");
+    return *ptr_;
+  }
+  T* operator->() const {
+    assert(here() == home_ && "GlobalRef dereferenced away from home");
+    return ptr_;
+  }
+
+ private:
+  int home_ = -1;
+  T* ptr_ = nullptr;
+};
+
+/// Per-place storage, X10's PlaceLocalHandle: one slot per place, each place
+/// initializes and accesses only its own.
+template <typename T>
+class PlaceLocal {
+ public:
+  PlaceLocal() : slots_(static_cast<std::size_t>(num_places())) {}
+
+  template <typename... Args>
+  T& init_here(Args&&... args) {
+    auto& slot = slots_[static_cast<std::size_t>(here())];
+    slot = std::make_unique<T>(std::forward<Args>(args)...);
+    return *slot;
+  }
+
+  [[nodiscard]] bool initialized_here() const {
+    return slots_[static_cast<std::size_t>(here())] != nullptr;
+  }
+
+  T& local() {
+    auto& slot = slots_[static_cast<std::size_t>(here())];
+    assert(slot && "PlaceLocal accessed before init_here()");
+    return *slot;
+  }
+
+ private:
+  std::vector<std::unique_ptr<T>> slots_;
+};
+
+}  // namespace apgas

@@ -1,0 +1,51 @@
+#include "runtime/clock.h"
+
+#include <cassert>
+
+#include "runtime/runtime.h"
+
+namespace apgas {
+
+std::shared_ptr<Clock> Clock::create(int participants) {
+  return std::shared_ptr<Clock>(new Clock(participants));
+}
+
+void Clock::complete_phase_locked() {
+  arrived_ = 0;
+  phase_.fetch_add(1, std::memory_order_acq_rel);
+  auto& rt = Runtime::get();
+  for (int p = 0; p < rt.places(); ++p) rt.transport().notify(p);
+}
+
+void Clock::advance() {
+  std::uint64_t my_phase;
+  {
+    std::scoped_lock lock(mu_);
+    assert(registered_ > 0);
+    my_phase = phase_.load(std::memory_order_acquire);
+    if (++arrived_ == registered_) {
+      complete_phase_locked();
+      return;
+    }
+  }
+  Runtime::get().sched(here()).run_until([this, my_phase] {
+    return phase_.load(std::memory_order_acquire) != my_phase;
+  });
+}
+
+void Clock::register_one() {
+  std::scoped_lock lock(mu_);
+  ++registered_;
+}
+
+void Clock::drop() {
+  std::scoped_lock lock(mu_);
+  assert(registered_ > 0);
+  --registered_;
+  if (registered_ > 0 && arrived_ == registered_) {
+    // The leaver was the last hold-out: release the waiters.
+    complete_phase_locked();
+  }
+}
+
+}  // namespace apgas

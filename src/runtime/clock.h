@@ -1,0 +1,51 @@
+// Clocks: X10's dynamic barriers (paper §2.2). A Clock synchronizes a set of
+// `clocked` activities, possibly across places: advance() blocks until every
+// registered participant has advanced. Registration is dynamic, as in X10 —
+// activities may register() to join and drop() to leave between phases;
+// dropping while others wait can complete the current phase. Share the
+// handle by capturing the shared_ptr in task closures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace apgas {
+
+class Clock {
+ public:
+  /// Creates a clock with `participants` initially registered activities.
+  static std::shared_ptr<Clock> create(int participants);
+
+  /// X10's Clock.advanceAll(): blocks (cooperatively) until all registered
+  /// participants have arrived at this phase.
+  void advance();
+
+  /// Joins the clock as an additional participant (X10: spawning a clocked
+  /// async registers it). Call between this participant's phases.
+  void register_one();
+
+  /// Leaves the clock (X10's Clock.drop()). May complete the current phase
+  /// if every remaining participant has already arrived.
+  void drop();
+
+  [[nodiscard]] std::uint64_t phase() const {
+    return phase_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] int participants() const {
+    std::scoped_lock lock(mu_);
+    return registered_;
+  }
+
+ private:
+  explicit Clock(int participants) : registered_(participants) {}
+  void complete_phase_locked();
+
+  mutable std::mutex mu_;
+  int registered_;
+  int arrived_ = 0;
+  std::atomic<std::uint64_t> phase_{0};
+};
+
+}  // namespace apgas

@@ -1,0 +1,42 @@
+// Launch-time configuration for an APGAS "job" (the paper's §2.1: the number
+// of places and the place→node mapping are fixed at launch, MPI-style).
+#pragma once
+
+#include <cstdint>
+
+#include "x10rt/transport.h"
+
+namespace apgas {
+
+struct Config {
+  /// Number of places. The paper runs one place per core (X10_NTHREADS=1);
+  /// we default the same way and oversubscribe OS threads when places exceed
+  /// cores, which is fine for protocol-level studies.
+  int places = 4;
+
+  /// Worker threads per place (X10_NTHREADS). The paper's runs use 1.
+  int workers_per_place = 1;
+
+  /// Places per "node" (octant). On the Power 775 this is 32; FINISH_DENSE
+  /// routes control traffic through one master place per node.
+  int places_per_node = 8;
+
+  /// Network chaos injection (latency + reordering of queued messages).
+  x10rt::ChaosConfig chaos;
+
+  /// Track per-(src,dst) message counts — needed by out-degree benches.
+  bool count_pairs = false;
+
+  /// RDMA engine threads (0 = synchronous copies on the initiating thread).
+  int dma_threads = 1;
+
+  /// Bytes reserved per place for the congruent (registered, symmetric)
+  /// allocator arena.
+  std::size_t congruent_bytes = 16u << 20;
+
+  /// Simulated page size for the congruent allocator's TLB accounting:
+  /// 4 KiB "small" vs 16 MiB "large" pages (paper §3.3).
+  bool congruent_large_pages = true;
+};
+
+}  // namespace apgas

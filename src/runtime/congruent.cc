@@ -1,0 +1,40 @@
+#include "runtime/congruent.h"
+
+namespace apgas {
+
+namespace {
+constexpr std::size_t kSmallPage = 4u << 10;
+constexpr std::size_t kLargePage = 16u << 20;
+}  // namespace
+
+CongruentSpace::CongruentSpace(x10rt::Transport& transport, int places,
+                               std::size_t bytes_per_place, bool large_pages)
+    : bytes_per_place_(bytes_per_place),
+      page_size_(large_pages ? kLargePage : kSmallPage) {
+  arenas_.reserve(static_cast<std::size_t>(places));
+  for (int p = 0; p < places; ++p) {
+    arenas_.push_back(std::make_unique<std::byte[]>(bytes_per_place));
+    transport.register_range(p, arenas_.back().get(), bytes_per_place);
+  }
+}
+
+std::size_t CongruentSpace::bump(std::size_t bytes, std::size_t align) {
+  std::scoped_lock lock(mu_);
+  const std::size_t aligned = (next_ + align - 1) / align * align;
+  assert(aligned + bytes <= bytes_per_place_ &&
+         "congruent arena exhausted; raise Config::congruent_bytes");
+  next_ = aligned + bytes;
+  return aligned;
+}
+
+std::size_t CongruentSpace::used() const {
+  std::scoped_lock lock(mu_);
+  return next_;
+}
+
+void CongruentSpace::reset() {
+  std::scoped_lock lock(mu_);
+  next_ = 0;
+}
+
+}  // namespace apgas

@@ -1,0 +1,85 @@
+// Congruent memory allocator (paper §3.3).
+//
+// RDMA and hardware collectives require registered memory, and the initiator
+// must know the effective remote address. The congruent allocator carves
+// arrays out of a per-place arena that is registered with the transport at
+// startup and allocated *symmetrically*: one allocation yields the same
+// offset in every place's arena, so a remote address is just
+// base(place) + offset. The paper additionally backs these arenas with large
+// pages to protect the Torrent's TLB; we model that as an accounting choice
+// (4 KiB vs 16 MiB pages) surfaced through tlb_entries().
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "x10rt/transport.h"
+
+namespace apgas {
+
+class CongruentSpace;
+
+/// Handle to a symmetric allocation: the same offset is valid in every
+/// place's arena. Trivially copyable — capture it in task closures freely.
+template <typename T>
+struct Congruent {
+  std::size_t offset = 0;
+  std::size_t count = 0;
+
+  [[nodiscard]] std::size_t bytes() const { return count * sizeof(T); }
+};
+
+class CongruentSpace {
+ public:
+  CongruentSpace(x10rt::Transport& transport, int places,
+                 std::size_t bytes_per_place, bool large_pages);
+
+  /// Allocates `count` elements of T at the same offset in every place.
+  /// Thread-safe; typically called during SPMD initialization.
+  template <typename T>
+  Congruent<T> alloc(std::size_t count) {
+    const std::size_t off = bump(count * sizeof(T), alignof(T));
+    return Congruent<T>{off, count};
+  }
+
+  /// This place's copy (or any place's — the initiator-side address
+  /// computation that symmetric allocation exists to enable).
+  template <typename T>
+  [[nodiscard]] T* at_place(int place, const Congruent<T>& c) const {
+    return reinterpret_cast<T*>(arena(place) + c.offset);
+  }
+
+  [[nodiscard]] std::byte* arena(int place) const {
+    return arenas_[static_cast<std::size_t>(place)].get();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return bytes_per_place_; }
+  [[nodiscard]] std::size_t used() const;
+  [[nodiscard]] std::size_t page_size() const { return page_size_; }
+
+  /// Number of TLB entries needed to map the used portion of one arena —
+  /// the metric large pages exist to minimize.
+  [[nodiscard]] std::size_t tlb_entries() const {
+    return (used() + page_size_ - 1) / page_size_;
+  }
+
+  /// Releases all allocations (arenas stay registered). For bench reuse;
+  /// callers must ensure no live handles.
+  void reset();
+
+ private:
+  std::size_t bump(std::size_t bytes, std::size_t align);
+
+  std::size_t bytes_per_place_;
+  std::size_t page_size_;
+  std::vector<std::unique_ptr<std::byte[]>> arenas_;
+
+  mutable std::mutex mu_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace apgas

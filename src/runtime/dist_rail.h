@@ -1,0 +1,141 @@
+// Distributed arrays and Array.asyncCopy (paper §2.2, §3.3).
+//
+// An asyncCopy is "treated exactly as if it were an async": its termination
+// is tracked by the enclosing finish, which is how X10 programs overlap
+// communication and computation. Two data paths mirror the paper's stack:
+//   * RDMA  — both ends registered (congruent) memory: the DMA engine moves
+//     the bytes with no destination-CPU involvement and posts a completion
+//     event to the initiator.
+//   * FIFO  — unregistered memory: the payload is serialized into a kData
+//     active message and copied out by the destination scheduler.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "runtime/api.h"
+
+namespace apgas {
+
+/// A reference to `size` elements of T living at `place`. Like a GlobalRef,
+/// it may be copied anywhere but its memory only dereferenced at home —
+/// except through async_copy / remote ops, which is the point.
+template <typename T>
+struct GlobalRail {
+  int place = -1;
+  T* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Wraps local memory for export to other places.
+template <typename T>
+GlobalRail<T> make_global_rail(T* data, std::size_t n) {
+  return GlobalRail<T>{here(), data, n};
+}
+
+/// View of a congruent allocation at a given place (registered memory, so
+/// async_copy takes the RDMA path and remote_xor/add are legal).
+template <typename T>
+GlobalRail<T> global_rail(const Congruent<T>& c, int place) {
+  auto& space = Runtime::get().congruent();
+  return GlobalRail<T>{place, space.at_place(place, c), c.count};
+}
+
+namespace detail_rail {
+// Finish accounting for an asyncCopy modeled as one local async at the
+// initiator (defined in finish.cc).
+void copy_spawn(const FinCtx& ctx);
+void copy_complete(const FinCtx& ctx);
+}  // namespace detail_rail
+
+/// Put: copies n elements from local memory into `dst` at dst_off.
+/// Non-blocking; completion is governed by the enclosing finish.
+template <typename T>
+void async_copy(const T* src, GlobalRail<T> dst, std::size_t dst_off,
+                std::size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  assert(dst_off + n <= dst.size);
+  Runtime& rt = Runtime::get();
+  auto& tr = rt.transport();
+  FinCtx ctx = current_spawn_ctx();
+  detail_rail::copy_spawn(ctx);
+  T* dst_addr = dst.data + dst_off;
+  const std::size_t bytes = n * sizeof(T);
+  const int initiator = here();
+  if (tr.is_registered(dst.place, dst_addr, bytes)) {
+    tr.put(initiator, dst.place, dst_addr, src, bytes,
+           [ctx] { detail_rail::copy_complete(ctx); });
+    return;
+  }
+  // FIFO path: serialize through the destination's inbox.
+  std::vector<std::byte> payload(bytes);
+  std::memcpy(payload.data(), src, bytes);
+  x10rt::Message m;
+  m.src = initiator;
+  m.type = x10rt::MsgType::kData;
+  m.bytes = bytes;
+  Runtime* rtp = &rt;
+  m.run = [rtp, dst_addr, payload = std::move(payload), initiator, ctx] {
+    std::memcpy(dst_addr, payload.data(), payload.size());
+    rtp->send_ctrl(initiator, [ctx] { detail_rail::copy_complete(ctx); }, 8);
+  };
+  tr.send(dst.place, std::move(m));
+}
+
+/// Get: copies n elements from `src` at src_off into local memory.
+template <typename T>
+void async_copy(GlobalRail<T> src, std::size_t src_off, T* dst,
+                std::size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  assert(src_off + n <= src.size);
+  Runtime& rt = Runtime::get();
+  auto& tr = rt.transport();
+  FinCtx ctx = current_spawn_ctx();
+  detail_rail::copy_spawn(ctx);
+  const T* src_addr = src.data + src_off;
+  const std::size_t bytes = n * sizeof(T);
+  const int initiator = here();
+  if (tr.is_registered(src.place, src_addr, bytes)) {
+    tr.get(initiator, src.place, dst, src_addr, bytes,
+           [ctx] { detail_rail::copy_complete(ctx); });
+    return;
+  }
+  // FIFO path: ask the owner to ship the bytes back.
+  x10rt::Message m;
+  m.src = initiator;
+  m.type = x10rt::MsgType::kOther;
+  m.bytes = 16;
+  Runtime* rtp = &rt;
+  m.run = [rtp, src_addr, dst, bytes, initiator, ctx] {
+    std::vector<std::byte> payload(bytes);
+    std::memcpy(payload.data(), src_addr, bytes);
+    x10rt::Message back;
+    back.src = here();
+    back.type = x10rt::MsgType::kData;
+    back.bytes = bytes;
+    back.run = [dst, payload = std::move(payload), ctx] {
+      std::memcpy(dst, payload.data(), payload.size());
+      detail_rail::copy_complete(ctx);
+    };
+    rtp->transport().send(initiator, std::move(back));
+  };
+  tr.send(src.place, std::move(m));
+}
+
+/// The Torrent "GUPS" feature: remote atomic XOR on registered memory.
+inline void remote_xor(const GlobalRail<std::uint64_t>& rail, std::size_t idx,
+                       std::uint64_t value) {
+  assert(idx < rail.size);
+  Runtime::get().transport().remote_xor64(here(), rail.place,
+                                          rail.data + idx, value);
+}
+
+inline void remote_add(const GlobalRail<std::uint64_t>& rail, std::size_t idx,
+                       std::uint64_t value) {
+  assert(idx < rail.size);
+  Runtime::get().transport().remote_add64(here(), rail.place,
+                                          rail.data + idx, value);
+}
+
+}  // namespace apgas

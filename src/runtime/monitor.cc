@@ -1,0 +1,58 @@
+#include "runtime/monitor.h"
+
+#include <cassert>
+
+#include "runtime/runtime.h"
+
+namespace apgas {
+
+namespace {
+thread_local bool tl_in_atomic = false;
+}
+
+void atomic_do(const std::function<void()>& body) {
+  assert(!tl_in_atomic && "nested atomic sections are illegal in X10");
+  auto& ps = Runtime::get().pstate(here());
+  {
+    std::scoped_lock lock(ps.atomic_mu);
+    tl_in_atomic = true;
+    body();
+    tl_in_atomic = false;
+  }
+  ps.atomic_gen.fetch_add(1, std::memory_order_release);
+  // Wake `when` waiters parked on the inbox.
+  Runtime::get().transport().notify(here());
+}
+
+void when(const std::function<bool()>& cond,
+          const std::function<void()>& body) {
+  assert(!tl_in_atomic && "when() may not run inside an atomic section");
+  auto& ps = Runtime::get().pstate(here());
+  for (;;) {
+    std::uint64_t gen;
+    {
+      std::scoped_lock lock(ps.atomic_mu);
+      tl_in_atomic = true;
+      const bool ready = cond();
+      if (ready) {
+        body();
+        tl_in_atomic = false;
+      } else {
+        tl_in_atomic = false;
+      }
+      if (ready) {
+        ps.atomic_gen.fetch_add(1, std::memory_order_release);
+        Runtime::get().transport().notify(here());
+        return;
+      }
+      gen = ps.atomic_gen.load(std::memory_order_acquire);
+    }
+    // Pump until some atomic section ran (which may have changed the
+    // condition), then re-test.
+    Runtime::get().sched(here()).run_until([&ps, gen] {
+      return ps.atomic_gen.load(std::memory_order_acquire) != gen;
+    });
+  }
+}
+
+}  // namespace apgas

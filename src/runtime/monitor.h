@@ -1,0 +1,19 @@
+// X10's `atomic S` and `when (c) S` (paper §2.1): place-local conditional
+// atomic sections. One monitor per place; `when` waiters keep pumping the
+// scheduler so the place stays live, and re-test after every atomic section.
+#pragma once
+
+#include <functional>
+
+namespace apgas {
+
+/// Executes `body` as an uninterrupted place-local atomic section.
+/// Nested atomic sections are illegal (asserted), as in X10.
+void atomic_do(const std::function<void()>& body);
+
+/// Blocks (cooperatively) until `cond` holds, then executes `body` in the
+/// same atomic step as the successful test.
+void when(const std::function<bool()>& cond,
+          const std::function<void()>& body);
+
+}  // namespace apgas

@@ -1,0 +1,56 @@
+#include "runtime/place_group.h"
+
+namespace apgas {
+
+PlaceGroup PlaceGroup::world() {
+  std::vector<int> all(static_cast<std::size_t>(num_places()));
+  for (int p = 0; p < num_places(); ++p) all[static_cast<std::size_t>(p)] = p;
+  return PlaceGroup(std::move(all));
+}
+
+void PlaceGroup::bcast_range(const std::shared_ptr<std::vector<int>>& places,
+                             int lo, int hi, int fanout,
+                             const std::function<void()>& fn) {
+  // Executes at (*places)[lo]: run fn here, delegate [lo+1, hi) to up to
+  // `fanout` subtrees spawned in parallel under one FINISH_SPMD.
+  finish(Pragma::kSpmd, [&] {
+    const int rest = hi - lo - 1;
+    if (rest > 0) {
+      const int branches = std::min(fanout, rest);
+      const int chunk = (rest + branches - 1) / branches;
+      for (int b = 0; b < branches; ++b) {
+        const int sub_lo = lo + 1 + b * chunk;
+        const int sub_hi = std::min(hi, sub_lo + chunk);
+        if (sub_lo >= sub_hi) break;
+        asyncAt((*places)[static_cast<std::size_t>(sub_lo)],
+                [places, sub_lo, sub_hi, fanout, fn] {
+                  bcast_range(places, sub_lo, sub_hi, fanout, fn);
+                });
+      }
+    }
+    fn();
+  });
+}
+
+void PlaceGroup::broadcast(const std::function<void()>& fn, int fanout) const {
+  if (places_.empty()) return;
+  auto shared = std::make_shared<std::vector<int>>(places_);
+  const int root = places_.front();
+  if (root == here()) {
+    bcast_range(shared, 0, size(), fanout, fn);
+  } else {
+    at(root, [shared, fanout, fn, n = size()] {
+      bcast_range(shared, 0, n, fanout, fn);
+    });
+  }
+}
+
+void PlaceGroup::broadcast_flat(const std::function<void()>& fn) const {
+  finish([&] {
+    for (int p : places_) {
+      asyncAt(p, [fn] { fn(); });
+    }
+  });
+}
+
+}  // namespace apgas

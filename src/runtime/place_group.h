@@ -1,0 +1,44 @@
+// PlaceGroup: efficient management of large groups of places (paper §3.2).
+//
+// Iterating sequentially over thousands of places to spawn startup activities
+// floods the root's network interface; the PlaceGroup broadcast instead uses
+// a spawning tree with nested FINISH_SPMD blocks, parallelizing and
+// distributing both task creation and completion detection.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/api.h"
+
+namespace apgas {
+
+class PlaceGroup {
+ public:
+  /// The group of all places.
+  static PlaceGroup world();
+
+  explicit PlaceGroup(std::vector<int> places) : places_(std::move(places)) {}
+
+  [[nodiscard]] int size() const { return static_cast<int>(places_.size()); }
+  [[nodiscard]] const std::vector<int>& places() const { return places_; }
+
+  /// Runs `fn` once at every place in the group using a spawning tree of
+  /// fan-out `fanout`, each interior node governed by a nested FINISH_SPMD.
+  /// Blocks until every invocation has completed.
+  void broadcast(const std::function<void()>& fn, int fanout = 8) const;
+
+  /// Baseline: the naive sequential spawn loop from §2.2 (one finish, root
+  /// sends every task itself). Kept for the §3.2 comparison bench.
+  void broadcast_flat(const std::function<void()>& fn) const;
+
+ private:
+  static void bcast_range(const std::shared_ptr<std::vector<int>>& places,
+                          int lo, int hi, int fanout,
+                          const std::function<void()>& fn);
+
+  std::vector<int> places_;
+};
+
+}  // namespace apgas

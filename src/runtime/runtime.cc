@@ -1,0 +1,147 @@
+#include "runtime/runtime.h"
+
+#include <utility>
+
+#include "runtime/api.h"
+#include "runtime/congruent.h"
+#include "runtime/team.h"
+
+namespace apgas {
+
+Runtime* Runtime::current_ = nullptr;
+
+namespace detail {
+thread_local int tl_place = -1;
+thread_local Activity* tl_activity = nullptr;
+thread_local FinishHome* tl_open_finish = nullptr;
+}  // namespace detail
+
+Runtime::Runtime(const Config& cfg) : cfg_(cfg) {
+  x10rt::TransportConfig tc;
+  tc.places = cfg_.places;
+  tc.chaos = cfg_.chaos;
+  tc.count_pairs = cfg_.count_pairs;
+  tc.dma_threads = cfg_.dma_threads;
+  transport_ = std::make_unique<x10rt::Transport>(tc);
+
+  pstates_.reserve(static_cast<std::size_t>(cfg_.places));
+  for (int p = 0; p < cfg_.places; ++p) {
+    auto ps = std::make_unique<PlaceState>();
+    ps->sched = std::make_unique<Scheduler>(*this, p);
+    ps->sched->add_idle_hook([this, p] { fin_flush_all_dirty(*this, p); });
+    pstates_.push_back(std::move(ps));
+  }
+
+  congruent_ = std::make_unique<CongruentSpace>(
+      *transport_, cfg_.places, cfg_.congruent_bytes,
+      cfg_.congruent_large_pages);
+
+  // Finish wire-protocol handlers: (handler id, serialized payload) frames,
+  // the real X10RT active-message model. Implementations in finish.cc.
+  Runtime* self = this;
+  am_snapshot_ = transport_->register_am(
+      [self](x10rt::ByteBuffer& buf) { fin_am_snapshot(*self, buf); });
+  am_dense_relay_ = transport_->register_am(
+      [self](x10rt::ByteBuffer& buf) { fin_am_dense_relay(*self, buf); });
+  am_release_ = transport_->register_am(
+      [self](x10rt::ByteBuffer& buf) { fin_am_release(*self, buf); });
+  am_completions_ = transport_->register_am(
+      [self](x10rt::ByteBuffer& buf) { fin_am_completions(*self, buf); });
+  am_credit_ = transport_->register_am(
+      [self](x10rt::ByteBuffer& buf) { fin_am_credit(*self, buf); });
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::worker_loop(int place) {
+  detail::tl_place = place;
+  sched(place).run_until(
+      [this] { return shutdown_.load(std::memory_order_acquire); });
+  detail::tl_place = -1;
+}
+
+void Runtime::run(const Config& cfg, std::function<void()> main) {
+  assert(current_ == nullptr && "only one APGAS runtime may be live");
+  Runtime rt(cfg);
+  current_ = &rt;
+
+  // Bootstrap: `main` executes at place 0 under the root finish; all other
+  // places start idle (paper §2.1). Shutdown is announced once the root
+  // finish has terminated, at which point the whole job has quiesced.
+  Activity boot;
+  boot.body = [&rt, m = std::move(main)] {
+    finish(Pragma::kAuto, m);
+    rt.shutdown_.store(true, std::memory_order_release);
+    for (int p = 0; p < rt.places(); ++p) rt.transport().notify(p);
+  };
+  rt.sched(0).push(std::move(boot));
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(cfg.places) *
+                  cfg.workers_per_place);
+  for (int p = 0; p < cfg.places; ++p) {
+    for (int w = 0; w < cfg.workers_per_place; ++w) {
+      workers.emplace_back([&rt, p] { rt.worker_loop(p); });
+    }
+  }
+  for (auto& t : workers) t.join();
+  team_detail::registry_clear();
+  current_ = nullptr;
+}
+
+void Runtime::send_task(int dst, std::function<void()> body, const FinCtx& ctx,
+                        bool with_credit) {
+  x10rt::Message m;
+  m.src = here();
+  m.type = x10rt::MsgType::kTask;
+  // Closure environments are not literally serialized in-process; account a
+  // nominal envelope so message-volume stats stay meaningful.
+  m.bytes = 64;
+  Runtime* rt = this;
+  m.run = [rt, body = std::move(body), key = ctx.key, mode = ctx.mode,
+           with_credit]() mutable {
+    Activity act;
+    act.fin = fin_task_received(*rt, key, mode);
+    act.body = std::move(body);
+    act.has_credit = with_credit;
+    act.remote_origin = true;
+    rt->sched(here()).run_activity(act);
+  };
+  transport_->send(dst, std::move(m));
+}
+
+void Runtime::send_ctrl(int dst, std::function<void()> fn, std::size_t bytes) {
+  x10rt::Message m;
+  m.src = detail::tl_place;  // may be -1 (DMA completion threads)
+  m.type = x10rt::MsgType::kControl;
+  m.bytes = bytes;
+  m.run = std::move(fn);
+  transport_->send(dst, std::move(m));
+}
+
+void Runtime::with_home_finish(FinishKey key,
+                               const std::function<void(FinishHome&)>& fn) {
+  assert(here() == key.home && "home-registry lookups run at the home place");
+  auto& ps = pstate(key.home);
+  std::scoped_lock lock(ps.fin_mu);
+  auto it = ps.home_finishes.find(key.seq);
+  if (it == ps.home_finishes.end()) return;  // late message, finish released
+  fn(*it->second);
+}
+
+FinCtx current_spawn_ctx() {
+  if (detail::tl_open_finish != nullptr) {
+    FinCtx ctx;
+    ctx.home = detail::tl_open_finish;
+    ctx.key = detail::tl_open_finish->key();
+    ctx.mode = detail::tl_open_finish->mode();
+    return ctx;
+  }
+  assert(detail::tl_activity != nullptr &&
+         (detail::tl_activity->fin.home != nullptr ||
+          detail::tl_activity->fin.key.valid()) &&
+         "spawn outside of any finish scope");
+  return detail::tl_activity->fin;
+}
+
+}  // namespace apgas

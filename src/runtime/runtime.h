@@ -1,0 +1,146 @@
+// The APGAS runtime: places, workers, and the job lifecycle (paper §2, §4).
+//
+// A Runtime hosts P places inside one process. Each place is an isolated
+// scheduler plus a share of the X10RT transport; the execution starts with
+// `main` at place 0 under a root finish and ends when that finish terminates
+// (all other places start idle, exactly as in X10).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/activity.h"
+#include "runtime/config.h"
+#include "runtime/finish.h"
+#include "runtime/scheduler.h"
+#include "x10rt/transport.h"
+
+namespace apgas {
+
+class CongruentSpace;
+
+/// FINISH_DENSE per-master pending control frames, keyed by next hop.
+struct DenseRelay {
+  std::mutex mu;
+  // next hop -> (final home, frame bytes)
+  std::unordered_map<int, std::vector<std::pair<int, std::vector<std::byte>>>>
+      pending;
+  bool flusher_scheduled = false;
+};
+
+/// Everything a place owns.
+struct PlaceState {
+  std::unique_ptr<Scheduler> sched;
+
+  std::mutex fin_mu;
+  std::unordered_map<std::uint64_t, FinishHome*> home_finishes;
+  std::unordered_map<FinishKey, std::unique_ptr<RemoteBlock>, FinishKeyHash>
+      blocks;
+  std::atomic<std::uint64_t> next_finish_seq{1};
+
+  DenseRelay relay;
+
+  // Per-place monitor backing X10's `atomic` / `when` (one lock per place;
+  // the generation counter wakes `when` waiters after each atomic section).
+  std::mutex atomic_mu;
+  std::atomic<std::uint64_t> atomic_gen{0};
+};
+
+class Runtime {
+ public:
+  /// Runs `main` at place 0 under a root finish; returns when the whole job
+  /// has quiesced. Only one Runtime may be live at a time.
+  static void run(const Config& cfg, std::function<void()> main);
+
+  /// The live runtime (asserts one exists).
+  static Runtime& get() {
+    assert(current_ != nullptr && "no APGAS runtime is running");
+    return *current_;
+  }
+  static bool active() { return current_ != nullptr; }
+
+  [[nodiscard]] int places() const { return cfg_.places; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] x10rt::Transport& transport() { return *transport_; }
+  [[nodiscard]] PlaceState& pstate(int place) {
+    return *pstates_[static_cast<std::size_t>(place)];
+  }
+  [[nodiscard]] Scheduler& sched(int place) {
+    return *pstates_[static_cast<std::size_t>(place)]->sched;
+  }
+  [[nodiscard]] CongruentSpace& congruent() { return *congruent_; }
+
+  /// Node master of `p` under the places-per-node mapping (FINISH_DENSE
+  /// software routing: p - p % b).
+  [[nodiscard]] int master_of(int p) const {
+    return p - p % cfg_.places_per_node;
+  }
+
+  /// Ships a task to place `dst` under the given finish context.
+  void send_task(int dst, std::function<void()> body, const FinCtx& ctx,
+                 bool with_credit);
+
+  /// Sends a control-message closure (finish protocol traffic).
+  void send_ctrl(int dst, std::function<void()> fn, std::size_t bytes);
+
+  /// Runs a closure at the home registry entry for `key`, if still present.
+  /// Used by control handlers; late messages for released finishes drop.
+  void with_home_finish(FinishKey key,
+                        const std::function<void(FinishHome&)>& fn);
+
+  // Registered active-message handler ids for the finish wire protocol
+  // (handlers are installed at startup; see finish.cc for the frame codecs).
+  [[nodiscard]] int am_snapshot() const { return am_snapshot_; }
+  [[nodiscard]] int am_dense_relay() const { return am_dense_relay_; }
+  [[nodiscard]] int am_release() const { return am_release_; }
+  [[nodiscard]] int am_completions() const { return am_completions_; }
+  [[nodiscard]] int am_credit() const { return am_credit_; }
+
+ private:
+  explicit Runtime(const Config& cfg);
+  ~Runtime();
+  void worker_loop(int place);
+
+  static Runtime* current_;
+
+  Config cfg_;
+  std::unique_ptr<x10rt::Transport> transport_;
+  int am_snapshot_ = -1;
+  int am_dense_relay_ = -1;
+  int am_release_ = -1;
+  int am_completions_ = -1;
+  int am_credit_ = -1;
+  std::vector<std::unique_ptr<PlaceState>> pstates_;
+  std::unique_ptr<CongruentSpace> congruent_;
+  std::atomic<bool> shutdown_{false};
+};
+
+// --- thread-local execution context -----------------------------------------
+
+namespace detail {
+extern thread_local int tl_place;
+extern thread_local Activity* tl_activity;
+/// Innermost finish opened by the current activity at this place (if any);
+/// spawns register here, falling back to the activity's inherited context.
+extern thread_local FinishHome* tl_open_finish;
+}  // namespace detail
+
+/// Index of the current place (valid on runtime worker threads only).
+inline int here() {
+  assert(detail::tl_place >= 0 && "not on an APGAS worker thread");
+  return detail::tl_place;
+}
+
+inline int num_places() { return Runtime::get().places(); }
+
+/// The finish context new spawns should register under.
+FinCtx current_spawn_ctx();
+
+}  // namespace apgas

@@ -1,0 +1,82 @@
+#include "runtime/scheduler.h"
+
+#include <chrono>
+
+#include "runtime/finish.h"
+#include "runtime/runtime.h"
+
+namespace apgas {
+
+Scheduler::Scheduler(Runtime& rt, int place) : rt_(rt), place_(place) {}
+
+void Scheduler::push(Activity a) {
+  {
+    std::scoped_lock lock(mu_);
+    deque_.push_back(std::move(a));
+  }
+  rt_.transport().notify(place_);
+}
+
+bool Scheduler::pop_local(Activity& out) {
+  std::scoped_lock lock(mu_);
+  if (deque_.empty()) return false;
+  out = std::move(deque_.front());
+  deque_.pop_front();
+  return true;
+}
+
+void Scheduler::run_activity(Activity& act) {
+  Activity* prev_act = detail::tl_activity;
+  FinishHome* prev_open = detail::tl_open_finish;
+  detail::tl_activity = &act;
+  detail::tl_open_finish = nullptr;
+  try {
+    act.body();
+  } catch (...) {
+    fin_report_exception(rt_, act.fin, std::current_exception());
+  }
+  detail::tl_activity = prev_act;
+  detail::tl_open_finish = prev_open;
+  activities_executed_.fetch_add(1, std::memory_order_relaxed);
+  fin_activity_completed(rt_, act);
+}
+
+bool Scheduler::step() {
+  // Incoming messages first: this keeps control protocols prompt and lets
+  // FINISH_DENSE relay flushers (local tasks) batch naturally.
+  if (auto msg = rt_.transport().poll(place_)) {
+    msg->run();
+    messages_processed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  Activity act;
+  if (pop_local(act)) {
+    run_activity(act);
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(const std::function<bool()>& done) {
+  using namespace std::chrono_literals;
+  while (!done()) {
+    if (step()) continue;
+    idle_transitions_.fetch_add(1, std::memory_order_relaxed);
+    // Transitioned to idle: give hooks (dirty finish-block flushers, dense
+    // relays) a chance to produce the control traffic that unblocks others.
+    {
+      std::scoped_lock lock(hooks_mu_);
+      for (auto& hook : idle_hooks_) hook();
+    }
+    if (done()) return;
+    if (step()) continue;
+    rt_.transport().wait_nonempty(place_, 200us);
+  }
+}
+
+void Scheduler::add_idle_hook(std::function<void()> hook) {
+  std::scoped_lock lock(hooks_mu_);
+  idle_hooks_.push_back(std::move(hook));
+}
+
+}  // namespace apgas

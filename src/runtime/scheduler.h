@@ -1,0 +1,81 @@
+// Per-place cooperative scheduler.
+//
+// Each place runs `workers_per_place` OS threads (the paper uses one) that
+// pump the place's transport inbox and local task deque. Blocking constructs
+// (finish wait, blocking `at`, team collectives, clock advance) never park
+// the thread: they re-enter the scheduler loop and keep executing incoming
+// work, exactly like the X10 runtime's worker "help" protocol. Incoming
+// messages are preferred over local tasks; this is what lets FINISH_DENSE
+// masters batch control traffic naturally (the relay flusher is a local task
+// and therefore only runs once the inbox has drained).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "runtime/activity.h"
+
+namespace apgas {
+
+class Runtime;
+
+class Scheduler {
+ public:
+  Scheduler(Runtime& rt, int place);
+
+  /// Enqueues a local activity (thread-safe; wakes sleeping workers).
+  void push(Activity a);
+
+  /// Processes one inbox message or one local activity. Returns false when
+  /// there was nothing to do.
+  bool step();
+
+  /// Pumps until `done()` holds; sleeps on the transport inbox when idle.
+  /// Re-entrant: blocked activities call this recursively.
+  void run_until(const std::function<bool()>& done);
+
+  /// Runs `act` to completion on the calling thread with correct
+  /// thread-local context and completion accounting.
+  void run_activity(Activity& act);
+
+  /// Registers a hook invoked when the place transitions to idle (e.g. the
+  /// dirty-finish-block flusher).
+  void add_idle_hook(std::function<void()> hook);
+
+  [[nodiscard]] int place() const { return place_; }
+
+  /// Activities run to completion on this place (user tasks + system).
+  [[nodiscard]] std::uint64_t activities_executed() const {
+    return activities_executed_.load(std::memory_order_relaxed);
+  }
+  /// Transport messages processed by this place's workers.
+  [[nodiscard]] std::uint64_t messages_processed() const {
+    return messages_processed_.load(std::memory_order_relaxed);
+  }
+  /// Busy->idle transitions (how often this place ran dry).
+  [[nodiscard]] std::uint64_t idle_transitions() const {
+    return idle_transitions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool pop_local(Activity& out);
+
+  Runtime& rt_;
+  int place_;
+
+  std::mutex mu_;
+  std::deque<Activity> deque_;
+
+  std::mutex hooks_mu_;
+  std::vector<std::function<void()>> idle_hooks_;
+
+  std::atomic<std::uint64_t> activities_executed_{0};
+  std::atomic<std::uint64_t> messages_processed_{0};
+  std::atomic<std::uint64_t> idle_transitions_{0};
+};
+
+}  // namespace apgas

@@ -1,0 +1,168 @@
+#include "runtime/team.h"
+
+#include <algorithm>
+
+namespace apgas {
+
+namespace team_detail {
+
+TeamState::TeamState(std::uint64_t team_id, TeamMode m, std::vector<int> mem)
+    : id(team_id), mode(m), members(std::move(mem)) {
+  for (int r = 0; r < static_cast<int>(members.size()); ++r) {
+    rank_of[members[static_cast<std::size_t>(r)]] = r;
+  }
+  per.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    per.push_back(std::make_unique<Member>());
+  }
+  src_ptrs.assign(members.size(), nullptr);
+}
+
+namespace {
+std::mutex g_registry_mu;
+std::unordered_map<std::uint64_t, std::shared_ptr<TeamState>> g_registry;
+}  // namespace
+
+std::shared_ptr<TeamState> get_or_create(std::uint64_t id, TeamMode mode,
+                                         const std::vector<int>& members) {
+  std::scoped_lock lock(g_registry_mu);
+  auto& slot = g_registry[id];
+  if (!slot) slot = std::make_shared<TeamState>(id, mode, members);
+  assert(slot->members == members && slot->mode == mode &&
+         "team id collision with different membership");
+  return slot;
+}
+
+void registry_clear() {
+  std::scoped_lock lock(g_registry_mu);
+  g_registry.clear();
+}
+
+}  // namespace team_detail
+
+Team Team::world(TeamMode mode) {
+  std::vector<int> members(static_cast<std::size_t>(num_places()));
+  for (int p = 0; p < num_places(); ++p) members[static_cast<std::size_t>(p)] = p;
+  const std::uint64_t id = mode == TeamMode::kNative ? 1 : 0;
+  return Team(team_detail::get_or_create(id, mode, members));
+}
+
+std::uint64_t Team::next_seq() {
+  auto& member = *state_->per[static_cast<std::size_t>(rank())];
+  std::scoped_lock lock(member.mu);
+  return ++member.op_seq;
+}
+
+void Team::send_bytes(std::uint64_t seq, int tag, int dst_rank,
+                      std::vector<std::byte> payload) {
+  const int dst_place = place_of(dst_rank);
+  const int src_rank = rank();
+  auto state = state_;
+  const std::size_t bytes = payload.size();
+  immediate_at(
+      dst_place,
+      [state, seq, tag, src_rank, dst_rank,
+       payload = std::move(payload)]() mutable {
+        auto& member = *state->per[static_cast<std::size_t>(dst_rank)];
+        std::scoped_lock lock(member.mu);
+        member.mail.emplace(std::make_tuple(seq, tag, src_rank),
+                            std::move(payload));
+      },
+      x10rt::MsgType::kCollective, bytes);
+}
+
+std::vector<std::byte> Team::recv_bytes(std::uint64_t seq, int tag,
+                                        int src_rank) {
+  auto& member = *state_->per[static_cast<std::size_t>(rank())];
+  const auto key = std::make_tuple(seq, tag, src_rank);
+  std::vector<std::byte> out;
+  bool got = false;
+  Runtime::get().sched(here()).run_until([&] {
+    std::scoped_lock lock(member.mu);
+    auto it = member.mail.find(key);
+    if (it == member.mail.end()) return false;
+    out = std::move(it->second);
+    member.mail.erase(it);
+    got = true;
+    return true;
+  });
+  assert(got);
+  return out;
+}
+
+void Team::barrier() {
+  const int sz = size();
+  if (sz == 1) return;
+  if (state_->mode == TeamMode::kNative) {
+    native_barrier();
+    return;
+  }
+  // Dissemination barrier: ceil(log2(n)) rounds of partner signalling.
+  const std::uint64_t seq = next_seq();
+  const int me = rank();
+  for (int round = 0, dist = 1; dist < sz; ++round, dist <<= 1) {
+    send_bytes(seq, /*tag=*/100 + round, (me + dist) % sz, {});
+    (void)recv_bytes(seq, /*tag=*/100 + round, (me + sz - dist) % sz);
+  }
+}
+
+void Team::native_barrier() {
+  auto& state = *state_;
+  const int sz = size();
+  const std::uint64_t gen = state.barrier_gen.load(std::memory_order_acquire);
+  if (state.barrier_count.fetch_add(1, std::memory_order_acq_rel) + 1 == sz) {
+    state.barrier_count.store(0, std::memory_order_relaxed);
+    state.barrier_gen.fetch_add(1, std::memory_order_acq_rel);
+    // Wake members parked on their transport inboxes.
+    for (int p : state.members) Runtime::get().transport().notify(p);
+    return;
+  }
+  Runtime::get().sched(here()).run_until([&state, gen] {
+    return state.barrier_gen.load(std::memory_order_acquire) != gen;
+  });
+}
+
+std::byte* Team::native_stage(std::size_t bytes) {
+  auto& state = *state_;
+  if (rank() == 0) {
+    std::scoped_lock lock(state.shared_mu);
+    if (state.shared_buf.size() < bytes) state.shared_buf.resize(bytes);
+  }
+  native_barrier();
+  return state.shared_buf.data();
+}
+
+Team Team::split(int color, int key) {
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+    int place;
+  };
+  const int sz = size();
+  const int me = rank();
+  std::vector<Entry> entries(static_cast<std::size_t>(sz));
+  const Entry mine{color, key, me, here()};
+  allgather(&mine, entries.data(), 1);
+
+  std::vector<Entry> same;
+  for (const auto& e : entries) {
+    if (e.color == color) same.push_back(e);
+  }
+  std::sort(same.begin(), same.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.rank) < std::tie(b.key, b.rank);
+  });
+  std::vector<int> members;
+  members.reserve(same.size());
+  for (const auto& e : same) members.push_back(e.place);
+
+  // Deterministic id every member computes identically: derived from the
+  // parent team, the color, and the parent's current op count.
+  const std::uint64_t seq = state_->per[static_cast<std::size_t>(me)]->op_seq;
+  const std::uint64_t id = (state_->id * 1315423911ULL) ^
+                           (static_cast<std::uint64_t>(color) << 32) ^ seq ^
+                           0x51ed2701ULL;
+  return Team(team_detail::get_or_create(id, state_->mode, members));
+}
+
+}  // namespace apgas

@@ -1,0 +1,388 @@
+// Teams: X10's x10.util.Team collectives (paper §3.3).
+//
+// Two interchangeable implementations mirror the paper's split between
+// hardware collectives and the emulation layer:
+//   * kEmulated — point-to-point algorithms over active messages (binomial
+//     broadcast/reduce, dissemination barrier, direct alltoall). This is the
+//     X10RT emulation layer that "kicks in" when the network has no native
+//     support.
+//   * kNative   — shared-memory implementations (central barrier, shared
+//     staging buffers) standing in for PAMI/Torrent hardware collectives.
+//
+// All operations are collective and blocking: every member place must call
+// them in the same program order (SPMD discipline); waiting members keep
+// pumping their scheduler, so unrelated activities continue to run.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/api.h"
+
+namespace apgas {
+
+enum class TeamMode { kEmulated, kNative };
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+namespace team_detail {
+
+struct Member {
+  std::mutex mu;
+  // (op sequence, phase tag, source rank) -> payload
+  std::map<std::tuple<std::uint64_t, int, int>, std::vector<std::byte>> mail;
+  std::uint64_t op_seq = 0;  // collective calls in program order
+};
+
+struct TeamState {
+  std::uint64_t id = 0;
+  TeamMode mode = TeamMode::kEmulated;
+  std::vector<int> members;                // rank -> place
+  std::unordered_map<int, int> rank_of;    // place -> rank
+  std::vector<std::unique_ptr<Member>> per;
+
+  // Native-path shared structures (the "hardware").
+  std::atomic<int> barrier_count{0};
+  std::atomic<std::uint64_t> barrier_gen{0};
+  std::mutex shared_mu;
+  std::vector<std::byte> shared_buf;
+  std::vector<const void*> src_ptrs;
+
+  explicit TeamState(std::uint64_t team_id, TeamMode m, std::vector<int> mem);
+};
+
+std::shared_ptr<TeamState> get_or_create(std::uint64_t id, TeamMode mode,
+                                         const std::vector<int>& members);
+void registry_clear();  // called between runtimes
+
+}  // namespace team_detail
+
+class Team {
+ public:
+  /// The team of all places.
+  static Team world(TeamMode mode = TeamMode::kEmulated);
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(state_->members.size());
+  }
+  [[nodiscard]] int rank() const {
+    auto it = state_->rank_of.find(here());
+    assert(it != state_->rank_of.end() && "place is not a team member");
+    return it->second;
+  }
+  [[nodiscard]] int place_of(int r) const {
+    return state_->members[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] TeamMode mode() const { return state_->mode; }
+
+  /// Collective barrier.
+  void barrier();
+
+  /// Broadcast `n` elements from `root` rank's buffer into every member's.
+  template <typename T>
+  void bcast(int root, T* buf, std::size_t n);
+
+  /// Element-wise all-reduce in place.
+  template <typename T>
+  void allreduce(T* buf, std::size_t n, ReduceOp op);
+
+  /// Element-wise reduce to `root` rank. On non-roots `buf` is scratch
+  /// (clobbered with partial results), as in MPI_Reduce.
+  template <typename T>
+  void reduce(int root, T* buf, std::size_t n, ReduceOp op);
+
+  /// Root's `send` holds size*n elements; every rank receives its n-block.
+  template <typename T>
+  void scatter(int root, const T* send, T* recv, std::size_t n);
+
+  /// Every rank contributes n elements; root's `recv` gets size*n,
+  /// rank-ordered. `recv` may be null on non-roots.
+  template <typename T>
+  void gather(int root, const T* send, T* recv, std::size_t n);
+
+  /// Each rank contributes `n` elements per destination; recv gets size*n.
+  template <typename T>
+  void alltoall(const T* send, T* recv, std::size_t n);
+
+  /// Each rank contributes `n` elements; recv gets size*n, rank-ordered.
+  template <typename T>
+  void allgather(const T* send, T* recv, std::size_t n);
+
+  /// Collective split into sub-teams by color; ranks ordered by (key, rank).
+  Team split(int color, int key);
+
+ private:
+  explicit Team(std::shared_ptr<team_detail::TeamState> s)
+      : state_(std::move(s)) {}
+
+  // --- emulated-path primitives ---------------------------------------------
+  void send_bytes(std::uint64_t seq, int tag, int dst_rank,
+                  std::vector<std::byte> payload);
+  std::vector<std::byte> recv_bytes(std::uint64_t seq, int tag, int src_rank);
+  std::uint64_t next_seq();
+
+  template <typename T>
+  static void combine(ReduceOp op, T* acc, const T* in, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (op) {
+        case ReduceOp::kSum: acc[i] += in[i]; break;
+        case ReduceOp::kMin: acc[i] = in[i] < acc[i] ? in[i] : acc[i]; break;
+        case ReduceOp::kMax: acc[i] = in[i] > acc[i] ? in[i] : acc[i]; break;
+      }
+    }
+  }
+
+  void native_barrier();
+  std::byte* native_stage(std::size_t bytes);  // rank-0 resizes, all get ptr
+
+  std::shared_ptr<team_detail::TeamState> state_;
+};
+
+// --- template implementations ------------------------------------------------
+
+template <typename T>
+void Team::bcast(int root, T* buf, std::size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int sz = size();
+  if (sz == 1) return;
+  const std::size_t bytes = n * sizeof(T);
+  if (state_->mode == TeamMode::kNative) {
+    native_barrier();
+    std::byte* stage = native_stage(bytes);
+    if (rank() == root) std::memcpy(stage, buf, bytes);
+    native_barrier();
+    if (rank() != root) std::memcpy(buf, stage, bytes);
+    native_barrier();
+    return;
+  }
+  // Binomial tree over active messages.
+  const std::uint64_t seq = next_seq();
+  const int me = rank();
+  const int rel = (me - root + sz) % sz;
+  int mask = 1;
+  while (mask < sz) {
+    if (rel & mask) {
+      const int src = (rel - mask + root) % sz;
+      auto payload = recv_bytes(seq, /*tag=*/0, src);
+      assert(payload.size() == bytes);
+      std::memcpy(buf, payload.data(), bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < sz) {
+      const int dst = (rel + mask + root) % sz;
+      std::vector<std::byte> payload(bytes);
+      std::memcpy(payload.data(), buf, bytes);
+      send_bytes(seq, /*tag=*/0, dst, std::move(payload));
+    }
+    mask >>= 1;
+  }
+}
+
+template <typename T>
+void Team::reduce(int root, T* buf, std::size_t n, ReduceOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int sz = size();
+  if (sz == 1) return;
+  const std::size_t bytes = n * sizeof(T);
+  if (state_->mode == TeamMode::kNative) {
+    native_barrier();
+    std::byte* stage = native_stage(bytes);
+    T* acc = reinterpret_cast<T*>(stage);
+    if (rank() == root) std::memcpy(acc, buf, bytes);
+    native_barrier();
+    if (rank() != root) {
+      // Hardware-combine stand-in: serialized atomic accumulation.
+      std::scoped_lock lock(state_->shared_mu);
+      combine(op, acc, buf, n);
+    }
+    native_barrier();
+    if (rank() == root) std::memcpy(buf, acc, bytes);
+    native_barrier();
+    return;
+  }
+  // Binomial reduce toward the root over relative ranks.
+  const std::uint64_t seq = next_seq();
+  const int rel = (rank() - root + sz) % sz;
+  int mask = 1;
+  while (mask < sz) {
+    if ((rel & mask) == 0) {
+      const int peer_rel = rel + mask;
+      if (peer_rel < sz) {
+        auto payload = recv_bytes(seq, /*tag=*/1, (peer_rel + root) % sz);
+        combine(op, buf, reinterpret_cast<const T*>(payload.data()), n);
+      }
+    } else {
+      std::vector<std::byte> payload(bytes);
+      std::memcpy(payload.data(), buf, bytes);
+      send_bytes(seq, /*tag=*/1, (rel - mask + root) % sz,
+                 std::move(payload));
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+template <typename T>
+void Team::allreduce(T* buf, std::size_t n, ReduceOp op) {
+  const int sz = size();
+  if (sz == 1) return;
+  reduce(0, buf, n, op);
+  bcast(0, buf, n);
+}
+
+template <typename T>
+void Team::scatter(int root, const T* send, T* recv, std::size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int sz = size();
+  const std::size_t bytes = n * sizeof(T);
+  const int me = rank();
+  if (sz == 1) {
+    std::memcpy(recv, send, bytes);
+    return;
+  }
+  if (state_->mode == TeamMode::kNative) {
+    native_barrier();
+    std::byte* stage = native_stage(bytes * static_cast<std::size_t>(sz));
+    if (me == root) {
+      std::memcpy(stage, send, bytes * static_cast<std::size_t>(sz));
+    }
+    native_barrier();
+    std::memcpy(recv, stage + static_cast<std::size_t>(me) * bytes, bytes);
+    native_barrier();
+    return;
+  }
+  const std::uint64_t seq = next_seq();
+  if (me == root) {
+    for (int r = 0; r < sz; ++r) {
+      if (r == me) {
+        std::memcpy(recv, send + static_cast<std::size_t>(r) * n, bytes);
+        continue;
+      }
+      std::vector<std::byte> payload(bytes);
+      std::memcpy(payload.data(), send + static_cast<std::size_t>(r) * n,
+                  bytes);
+      send_bytes(seq, /*tag=*/4, r, std::move(payload));
+    }
+  } else {
+    auto payload = recv_bytes(seq, /*tag=*/4, root);
+    std::memcpy(recv, payload.data(), bytes);
+  }
+}
+
+template <typename T>
+void Team::gather(int root, const T* send, T* recv, std::size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int sz = size();
+  const std::size_t bytes = n * sizeof(T);
+  const int me = rank();
+  if (sz == 1) {
+    std::memcpy(recv, send, bytes);
+    return;
+  }
+  if (state_->mode == TeamMode::kNative) {
+    native_barrier();
+    std::byte* stage = native_stage(bytes * static_cast<std::size_t>(sz));
+    std::memcpy(stage + static_cast<std::size_t>(me) * bytes, send, bytes);
+    native_barrier();
+    if (me == root) {
+      std::memcpy(recv, stage, bytes * static_cast<std::size_t>(sz));
+    }
+    native_barrier();
+    return;
+  }
+  const std::uint64_t seq = next_seq();
+  if (me == root) {
+    std::memcpy(recv + static_cast<std::size_t>(me) * n, send, bytes);
+    for (int r = 0; r < sz; ++r) {
+      if (r == me) continue;
+      auto payload = recv_bytes(seq, /*tag=*/5, r);
+      std::memcpy(recv + static_cast<std::size_t>(r) * n, payload.data(),
+                  bytes);
+    }
+  } else {
+    std::vector<std::byte> payload(bytes);
+    std::memcpy(payload.data(), send, bytes);
+    send_bytes(seq, /*tag=*/5, root, std::move(payload));
+  }
+}
+
+template <typename T>
+void Team::alltoall(const T* send, T* recv, std::size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int sz = size();
+  const std::size_t bytes = n * sizeof(T);
+  const int me = rank();
+  if (state_->mode == TeamMode::kNative) {
+    // Publish our send buffer, then gather directly from every peer's —
+    // the shared-memory stand-in for a hardware all-to-all.
+    native_barrier();
+    state_->src_ptrs[static_cast<std::size_t>(me)] = send;
+    native_barrier();
+    for (int s = 0; s < sz; ++s) {
+      const T* src = static_cast<const T*>(state_->src_ptrs[s]);
+      std::memcpy(recv + static_cast<std::size_t>(s) * n, src + me * n, bytes);
+    }
+    native_barrier();
+    return;
+  }
+  const std::uint64_t seq = next_seq();
+  std::memcpy(recv + static_cast<std::size_t>(me) * n, send + me * n, bytes);
+  for (int d = 1; d < sz; ++d) {
+    const int dst = (me + d) % sz;
+    std::vector<std::byte> payload(bytes);
+    std::memcpy(payload.data(), send + static_cast<std::size_t>(dst) * n,
+                bytes);
+    send_bytes(seq, /*tag=*/2, dst, std::move(payload));
+  }
+  for (int d = 1; d < sz; ++d) {
+    const int src = (me + sz - d) % sz;
+    auto payload = recv_bytes(seq, /*tag=*/2, src);
+    std::memcpy(recv + static_cast<std::size_t>(src) * n, payload.data(),
+                bytes);
+  }
+}
+
+template <typename T>
+void Team::allgather(const T* send, T* recv, std::size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int sz = size();
+  const std::size_t bytes = n * sizeof(T);
+  const int me = rank();
+  if (state_->mode == TeamMode::kNative) {
+    native_barrier();
+    std::byte* stage =
+        native_stage(bytes * static_cast<std::size_t>(sz));
+    std::memcpy(stage + static_cast<std::size_t>(me) * bytes, send, bytes);
+    native_barrier();
+    std::memcpy(recv, stage, bytes * static_cast<std::size_t>(sz));
+    native_barrier();
+    return;
+  }
+  const std::uint64_t seq = next_seq();
+  std::memcpy(recv + static_cast<std::size_t>(me) * n, send, bytes);
+  std::vector<std::byte> mine(bytes);
+  std::memcpy(mine.data(), send, bytes);
+  for (int d = 1; d < sz; ++d) {
+    send_bytes(seq, /*tag=*/3, (me + d) % sz, std::vector<std::byte>(mine));
+  }
+  for (int d = 1; d < sz; ++d) {
+    const int src = (me + sz - d) % sz;
+    auto payload = recv_bytes(seq, /*tag=*/3, src);
+    std::memcpy(recv + static_cast<std::size_t>(src) * n, payload.data(),
+                bytes);
+  }
+}
+
+}  // namespace apgas

@@ -1,0 +1,36 @@
+// Message envelope types for the X10RT transport.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace x10rt {
+
+/// Classification of messages for statistics and for chaos injection. The
+/// paper's scalability story is largely about who sends how many kControl
+/// messages; the transport counts every class separately so benches can
+/// report the same breakdowns.
+enum class MsgType : std::uint8_t {
+  kTask,        // a spawned activity (async / at ... async)
+  kControl,     // finish termination-detection traffic
+  kCollective,  // team barrier/bcast/reduce/alltoall traffic
+  kData,        // serialized (non-RDMA) array payloads
+  kRdma,        // RDMA completion notifications
+  kSteal,       // work-stealing requests/replies (GLB)
+  kOther,
+};
+inline constexpr int kNumMsgTypes = 7;
+
+/// A message is a closure executed at the destination place by its scheduler,
+/// plus bookkeeping used by the transport layer (type, approximate payload
+/// size in wire bytes). Closures must capture by value only: once enqueued,
+/// the sender's stack is gone.
+struct Message {
+  std::function<void()> run;
+  MsgType type = MsgType::kOther;
+  std::size_t bytes = 0;
+  int src = -1;
+};
+
+}  // namespace x10rt

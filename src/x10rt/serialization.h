@@ -1,0 +1,106 @@
+// Byte-buffer serialization for X10RT control and data messages.
+//
+// The X10 compiler serializes the captured environment of an `at` body into a
+// wire buffer; here the same role is played by an explicit ByteBuffer used by
+// the runtime's control protocols (finish snapshots, team collectives) and by
+// the non-RDMA data path. Keeping control messages in real wire format lets
+// the benches measure coalescing/compression factors the way the paper does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace x10rt {
+
+/// Growable little-endian-native byte buffer with sequential read cursor.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::byte> data) : data_(std::move(data)) {}
+
+  /// Appends the raw bytes of a trivially copyable value.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& value) {
+    const auto* src = reinterpret_cast<const std::byte*>(&value);
+    data_.insert(data_.end(), src, src + sizeof(T));
+  }
+
+  /// Appends a length-prefixed string.
+  void put_string(const std::string& s) {
+    put(static_cast<std::uint32_t>(s.size()));
+    const auto* src = reinterpret_cast<const std::byte*>(s.data());
+    data_.insert(data_.end(), src, src + s.size());
+  }
+
+  /// Appends a length-prefixed vector of trivially copyable elements.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_vector(const std::vector<T>& v) {
+    put(static_cast<std::uint32_t>(v.size()));
+    put_raw(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Appends `n` raw bytes.
+  void put_raw(const void* src, std::size_t n) {
+    const auto* p = reinterpret_cast<const std::byte*>(src);
+    data_.insert(data_.end(), p, p + n);
+  }
+
+  /// Reads back a trivially copyable value; throws on underflow.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    T out;
+    check_remaining(sizeof(T));
+    std::memcpy(&out, data_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return out;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint32_t>();
+    check_remaining(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + cursor_), n);
+    cursor_ += n;
+    return s;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_vector() {
+    const auto n = get<std::uint32_t>();
+    std::vector<T> v(n);
+    get_raw(v.data(), static_cast<std::size_t>(n) * sizeof(T));
+    return v;
+  }
+
+  void get_raw(void* dst, std::size_t n) {
+    check_remaining(n);
+    std::memcpy(dst, data_.data() + cursor_, n);
+    cursor_ += n;
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - cursor_; }
+  [[nodiscard]] std::span<const std::byte> bytes() const { return data_; }
+  void rewind() { cursor_ = 0; }
+
+ private:
+  void check_remaining(std::size_t n) const {
+    if (cursor_ + n > data_.size()) {
+      throw std::out_of_range("ByteBuffer underflow");
+    }
+  }
+
+  std::vector<std::byte> data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace x10rt

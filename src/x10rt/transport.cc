@@ -1,0 +1,304 @@
+#include "x10rt/transport.h"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+namespace x10rt {
+
+Transport::Transport(TransportConfig cfg)
+    : cfg_(cfg), ranges_(static_cast<std::size_t>(cfg.places)) {
+  assert(cfg_.places >= 1);
+  inboxes_.reserve(static_cast<std::size_t>(cfg_.places));
+  for (int p = 0; p < cfg_.places; ++p) {
+    auto box = std::make_unique<Inbox>();
+    box->rng.seed(cfg_.chaos.seed + static_cast<std::uint64_t>(p) * 0x2545F4914F6CDD1DULL);
+    inboxes_.push_back(std::move(box));
+  }
+  if (cfg_.count_pairs) {
+    pair_counts_ = std::vector<std::atomic<std::uint64_t>>(
+        static_cast<std::size_t>(cfg_.places) * cfg_.places);
+    ctrl_pair_counts_ = std::vector<std::atomic<std::uint64_t>>(
+        static_cast<std::size_t>(cfg_.places) * cfg_.places);
+  }
+  for (int i = 0; i < cfg_.dma_threads; ++i) {
+    dma_workers_.emplace_back([this] { dma_loop(); });
+  }
+}
+
+Transport::~Transport() {
+  {
+    std::scoped_lock lock(dma_mu_);
+    dma_stop_ = true;
+  }
+  dma_cv_.notify_all();
+  for (auto& t : dma_workers_) t.join();
+}
+
+void Transport::record(const Message& m, int dst) {
+  const auto idx = static_cast<std::size_t>(m.type);
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  bytes_[idx].fetch_add(m.bytes, std::memory_order_relaxed);
+  if (cfg_.count_pairs && m.src >= 0) {
+    pair_counts_[static_cast<std::size_t>(m.src) * cfg_.places + dst]
+        .fetch_add(1, std::memory_order_relaxed);
+    if (m.type == MsgType::kControl) {
+      ctrl_pair_counts_[static_cast<std::size_t>(m.src) * cfg_.places + dst]
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Transport::enqueue_locked(Inbox& box, Message&& m) {
+  if (cfg_.chaos.enabled() && box.delayed.size() < cfg_.chaos.max_delayed) {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    if (u(box.rng) < cfg_.chaos.delay_prob) {
+      // Park the message; it will be released later in randomized order.
+      box.delayed.push_back(std::move(m));
+      maybe_release_delayed_locked(box);
+      return;
+    }
+  }
+  box.queue.push_back(std::move(m));
+  maybe_release_delayed_locked(box);
+}
+
+void Transport::maybe_release_delayed_locked(Inbox& box) {
+  if (box.delayed.empty()) return;
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  // Each enqueue/poll event gives every parked message an independent chance
+  // to be delivered, from a random position — this is what reorders traffic.
+  std::size_t i = 0;
+  while (i < box.delayed.size()) {
+    if (u(box.rng) < 0.5) {
+      std::uniform_int_distribution<std::size_t> pick(0, box.delayed.size() - 1);
+      const std::size_t j = pick(box.rng);
+      box.queue.push_back(std::move(box.delayed[j]));
+      box.delayed.erase(box.delayed.begin() + static_cast<std::ptrdiff_t>(j));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Transport::send(int dst, Message m) {
+  assert(dst >= 0 && dst < cfg_.places);
+  record(m, dst);
+  auto& box = *inboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::scoped_lock lock(box.mu);
+    enqueue_locked(box, std::move(m));
+  }
+  box.cv.notify_one();
+}
+
+std::optional<Message> Transport::poll(int place) {
+  auto& box = *inboxes_[static_cast<std::size_t>(place)];
+  std::scoped_lock lock(box.mu);
+  if (box.queue.empty() && !box.delayed.empty()) {
+    // Chaos must not withhold the last messages forever: drain one now.
+    std::uniform_int_distribution<std::size_t> pick(0, box.delayed.size() - 1);
+    const std::size_t j = pick(box.rng);
+    box.queue.push_back(std::move(box.delayed[j]));
+    box.delayed.erase(box.delayed.begin() + static_cast<std::ptrdiff_t>(j));
+  }
+  if (box.queue.empty()) return std::nullopt;
+  Message m = std::move(box.queue.front());
+  box.queue.pop_front();
+  return m;
+}
+
+bool Transport::wait_nonempty(int place, std::chrono::microseconds timeout) {
+  auto& box = *inboxes_[static_cast<std::size_t>(place)];
+  std::unique_lock lock(box.mu);
+  box.cv.wait_for(lock, timeout, [&box] {
+    return !box.queue.empty() || !box.delayed.empty() || box.notified;
+  });
+  box.notified = false;
+  return !box.queue.empty() || !box.delayed.empty();
+}
+
+void Transport::notify(int place) {
+  auto& box = *inboxes_[static_cast<std::size_t>(place)];
+  {
+    std::scoped_lock lock(box.mu);
+    box.notified = true;
+  }
+  box.cv.notify_all();
+}
+
+void Transport::register_range(int place, const void* base, std::size_t len) {
+  std::unique_lock lock(reg_mu_);
+  ranges_[static_cast<std::size_t>(place)].emplace_back(
+      static_cast<const std::byte*>(base), len);
+}
+
+bool Transport::is_registered(int place, const void* addr,
+                              std::size_t len) const {
+  std::shared_lock lock(reg_mu_);
+  const auto* a = static_cast<const std::byte*>(addr);
+  for (const auto& [base, n] : ranges_[static_cast<std::size_t>(place)]) {
+    if (a >= base && a + len <= base + n) return true;
+  }
+  return false;
+}
+
+void Transport::submit_dma(DmaOp op, MsgType completion_type) {
+  rdma_ops_.fetch_add(1, std::memory_order_relaxed);
+  rdma_bytes_.fetch_add(op.n, std::memory_order_relaxed);
+  if (dma_workers_.empty()) {
+    // Synchronous fallback (dma_threads = 0).
+    std::memcpy(op.dst, op.src, op.n);
+    if (op.on_complete) {
+      send(op.initiator, Message{std::move(op.on_complete), completion_type,
+                                 0, op.initiator});
+    }
+    return;
+  }
+  {
+    std::scoped_lock lock(dma_mu_);
+    dma_queue_.emplace_back(std::move(op), completion_type);
+  }
+  dma_cv_.notify_one();
+}
+
+void Transport::dma_loop() {
+  for (;;) {
+    std::pair<DmaOp, MsgType> item;
+    {
+      std::unique_lock lock(dma_mu_);
+      dma_cv_.wait(lock, [this] { return dma_stop_ || !dma_queue_.empty(); });
+      if (dma_queue_.empty()) return;  // stop requested and drained
+      item = std::move(dma_queue_.front());
+      dma_queue_.pop_front();
+    }
+    auto& [op, type] = item;
+    std::memcpy(op.dst, op.src, op.n);
+    if (op.on_complete) {
+      send(op.initiator, Message{std::move(op.on_complete), type, 0,
+                                 op.initiator});
+    }
+  }
+}
+
+void Transport::put(int src, int dst, void* dst_addr, const void* src_addr,
+                    std::size_t n, std::function<void()> on_complete) {
+  assert(is_registered(dst, dst_addr, n) &&
+         "RDMA put target must be registered memory");
+  submit_dma(DmaOp{dst_addr, src_addr, n, src, std::move(on_complete)},
+             MsgType::kRdma);
+}
+
+void Transport::get(int src, int dst, void* local_addr,
+                    const void* remote_addr, std::size_t n,
+                    std::function<void()> on_complete) {
+  assert(is_registered(dst, remote_addr, n) &&
+         "RDMA get source must be registered memory");
+  submit_dma(DmaOp{local_addr, remote_addr, n, src, std::move(on_complete)},
+             MsgType::kRdma);
+}
+
+void Transport::remote_xor64(int src, int dst, std::uint64_t* dst_addr,
+                             std::uint64_t val) {
+  (void)src;
+  assert(is_registered(dst, dst_addr, sizeof(std::uint64_t)));
+  rdma_ops_.fetch_add(1, std::memory_order_relaxed);
+  rdma_bytes_.fetch_add(sizeof(std::uint64_t), std::memory_order_relaxed);
+  std::atomic_ref<std::uint64_t>(*dst_addr)
+      .fetch_xor(val, std::memory_order_relaxed);
+}
+
+void Transport::remote_add64(int src, int dst, std::uint64_t* dst_addr,
+                             std::uint64_t val) {
+  (void)src;
+  assert(is_registered(dst, dst_addr, sizeof(std::uint64_t)));
+  rdma_ops_.fetch_add(1, std::memory_order_relaxed);
+  rdma_bytes_.fetch_add(sizeof(std::uint64_t), std::memory_order_relaxed);
+  std::atomic_ref<std::uint64_t>(*dst_addr)
+      .fetch_add(val, std::memory_order_relaxed);
+}
+
+int Transport::register_am(AmHandler handler) {
+  am_handlers_.push_back(std::move(handler));
+  return static_cast<int>(am_handlers_.size()) - 1;
+}
+
+void Transport::send_am(int src, int dst, int handler, ByteBuffer payload,
+                        MsgType type) {
+  assert(handler >= 0 &&
+         handler < static_cast<int>(am_handlers_.size()) &&
+         "send_am with unregistered handler");
+  Message m;
+  m.src = src;
+  m.type = type;
+  m.bytes = payload.size() + sizeof(int);
+  const AmHandler* fn = &am_handlers_[static_cast<std::size_t>(handler)];
+  m.run = [fn, payload = std::move(payload)]() mutable {
+    payload.rewind();
+    (*fn)(payload);
+  };
+  send(dst, std::move(m));
+}
+
+std::uint64_t Transport::count(MsgType t) const {
+  return counts_[static_cast<std::size_t>(t)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Transport::bytes(MsgType t) const {
+  return bytes_[static_cast<std::size_t>(t)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Transport::total_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Transport::pair_count(int src, int dst) const {
+  assert(cfg_.count_pairs);
+  return pair_counts_[static_cast<std::size_t>(src) * cfg_.places + dst].load(
+      std::memory_order_relaxed);
+}
+
+int Transport::max_out_degree() const {
+  assert(cfg_.count_pairs);
+  int max_deg = 0;
+  for (int s = 0; s < cfg_.places; ++s) {
+    int deg = 0;
+    for (int d = 0; d < cfg_.places; ++d) {
+      if (pair_count(s, d) > 0) ++deg;
+    }
+    max_deg = std::max(max_deg, deg);
+  }
+  return max_deg;
+}
+
+std::uint64_t Transport::ctrl_pair_count(int src, int dst) const {
+  assert(cfg_.count_pairs);
+  return ctrl_pair_counts_[static_cast<std::size_t>(src) * cfg_.places + dst]
+      .load(std::memory_order_relaxed);
+}
+
+int Transport::max_ctrl_out_degree() const {
+  assert(cfg_.count_pairs);
+  int max_deg = 0;
+  for (int s = 0; s < cfg_.places; ++s) {
+    int deg = 0;
+    for (int d = 0; d < cfg_.places; ++d) {
+      if (ctrl_pair_count(s, d) > 0) ++deg;
+    }
+    max_deg = std::max(max_deg, deg);
+  }
+  return max_deg;
+}
+
+void Transport::reset_stats() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  for (auto& b : bytes_) b.store(0, std::memory_order_relaxed);
+  rdma_ops_.store(0);
+  rdma_bytes_.store(0);
+  for (auto& pc : pair_counts_) pc.store(0, std::memory_order_relaxed);
+  for (auto& pc : ctrl_pair_counts_) pc.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace x10rt

@@ -1,0 +1,206 @@
+// X10RT: the transport layer of the X10 runtime stack (paper §3.3).
+//
+// The real X10RT is a thin API over PAMI / MPI / TCP sockets. This
+// implementation realizes the same API surface over shared memory: every
+// place owns a FIFO inbox of messages, and the only sanctioned way for places
+// to interact is
+//   * send()            — active messages (tasks, control, collectives, data)
+//   * put()/get()       — one-sided RDMA on *registered* memory, executed by a
+//                         DMA engine thread, completion delivered to the
+//                         initiator's inbox (models Torrent RDMA)
+//   * remote_*64()      — remote atomic update ops (models the Torrent "GUPS"
+//                         feature used by RandomAccess)
+//
+// A chaos mode delays and reorders queued messages. The paper's finish
+// protocols must tolerate network reordering of control messages; the chaos
+// decorator provides exactly that adversity under test.
+//
+// The transport counts every message by class and, optionally, by
+// (source, destination) pair so benches can report control-message volume and
+// communication-graph out-degree — the metrics §3.1 argues about.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "x10rt/message.h"
+#include "x10rt/serialization.h"
+
+namespace x10rt {
+
+/// Chaos injection: with probability `delay_prob` a message is parked in a
+/// side pool and released later in randomized order. Delivery remains
+/// guaranteed: pollers drain the pool once the main queue is empty.
+struct ChaosConfig {
+  double delay_prob = 0.0;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  std::size_t max_delayed = 64;
+
+  [[nodiscard]] bool enabled() const { return delay_prob > 0.0; }
+};
+
+struct TransportConfig {
+  int places = 1;
+  ChaosConfig chaos;
+  bool count_pairs = false;  ///< track per-(src,dst) message counts (O(P^2))
+  int dma_threads = 1;       ///< RDMA engine threads (0 = synchronous RDMA)
+};
+
+/// Shared-memory X10RT transport. Thread-safe; one instance per "job".
+class Transport {
+ public:
+  explicit Transport(TransportConfig cfg);
+  ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  [[nodiscard]] int places() const { return cfg_.places; }
+
+  /// Enqueues an active message for place `dst`. `m.src` must be the sending
+  /// place (used for stats and chaos determinism).
+  void send(int dst, Message m);
+
+  // --- registered active-message handlers ----------------------------------
+  // The real X10RT model: a handler id plus a serialized payload, rather
+  // than a shipped closure. The runtime's control protocols (finish
+  // snapshots/completions/credits, team transfers) ride these, so their
+  // traffic is genuinely in wire form; a distributed port only has to
+  // re-implement send()/send_am(), not the protocols.
+
+  using AmHandler = std::function<void(ByteBuffer&)>;
+
+  /// Registers a handler; returns its id. Registration happens during
+  /// runtime startup, before any traffic. Not thread-safe against send_am.
+  int register_am(AmHandler handler);
+
+  /// Sends (handler id, payload) to `dst`; the destination scheduler invokes
+  /// the handler with the payload's read cursor at 0.
+  void send_am(int src, int dst, int handler, ByteBuffer payload,
+               MsgType type = MsgType::kControl);
+
+  /// Non-blocking pop of the next deliverable message for `place`.
+  std::optional<Message> poll(int place);
+
+  /// Blocks until the inbox for `place` is (probably) non-empty, it is woken
+  /// via notify(), or the timeout expires. Returns true if non-empty.
+  bool wait_nonempty(int place, std::chrono::microseconds timeout);
+
+  /// Wakes a scheduler blocked in wait_nonempty (used when local work is
+  /// produced by a sibling worker, and at shutdown).
+  void notify(int place);
+
+  // --- Registered memory + one-sided operations (paper §3.3) --------------
+
+  /// Registers [base, base+len) at `place` as RDMA-eligible. Congruent
+  /// allocator arenas are registered wholesale at startup.
+  void register_range(int place, const void* base, std::size_t len);
+
+  [[nodiscard]] bool is_registered(int place, const void* addr,
+                                   std::size_t len) const;
+
+  /// One-sided put: copies local memory into `dst_addr` at place `dst`
+  /// without involving the destination scheduler. `on_complete` is delivered
+  /// to the *initiator's* inbox once the transfer finishes. Both ends must be
+  /// registered (asserted), mirroring real RDMA constraints.
+  void put(int src, int dst, void* dst_addr, const void* src_addr,
+           std::size_t n, std::function<void()> on_complete);
+
+  /// One-sided get: copies remote memory into a local buffer.
+  void get(int src, int dst, void* local_addr, const void* remote_addr,
+           std::size_t n, std::function<void()> on_complete);
+
+  /// Remote atomic XOR of a 64-bit word at place `dst` (the Torrent "GUPS"
+  /// feature). Fire-and-forget, executed immediately on the caller thread —
+  /// no destination CPU involvement, no completion event.
+  void remote_xor64(int src, int dst, std::uint64_t* dst_addr,
+                    std::uint64_t val);
+
+  /// Remote atomic add, same contract as remote_xor64.
+  void remote_add64(int src, int dst, std::uint64_t* dst_addr,
+                    std::uint64_t val);
+
+  // --- Statistics ----------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t count(MsgType t) const;
+  [[nodiscard]] std::uint64_t bytes(MsgType t) const;
+  [[nodiscard]] std::uint64_t total_messages() const;
+  [[nodiscard]] std::uint64_t rdma_ops() const { return rdma_ops_.load(); }
+  [[nodiscard]] std::uint64_t rdma_bytes() const { return rdma_bytes_.load(); }
+
+  /// Per-pair message count; requires cfg.count_pairs.
+  [[nodiscard]] std::uint64_t pair_count(int src, int dst) const;
+
+  /// Largest number of distinct destinations any single place sent to;
+  /// requires cfg.count_pairs. This is the out-degree metric FINISH_DENSE
+  /// exists to bound.
+  [[nodiscard]] int max_out_degree() const;
+
+  /// Same, restricted to kControl messages (finish protocol traffic) —
+  /// the graph FINISH_DENSE software routing reshapes.
+  [[nodiscard]] std::uint64_t ctrl_pair_count(int src, int dst) const;
+  [[nodiscard]] int max_ctrl_out_degree() const;
+
+  void reset_stats();
+
+ private:
+  struct Inbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+    std::deque<Message> delayed;  // chaos pool
+    std::mt19937_64 rng;
+    bool notified = false;
+  };
+
+  struct DmaOp {
+    void* dst;
+    const void* src;
+    std::size_t n;
+    int initiator;
+    std::function<void()> on_complete;
+  };
+
+  void enqueue_locked(Inbox& box, Message&& m);
+  void maybe_release_delayed_locked(Inbox& box);
+  void record(const Message& m, int dst);
+  void submit_dma(DmaOp op, MsgType completion_type);
+  void dma_loop();
+
+  TransportConfig cfg_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::vector<AmHandler> am_handlers_;
+
+  // Registered memory ranges per place (read-mostly: every one-sided op
+  // validates against them, so reads take a shared lock).
+  mutable std::shared_mutex reg_mu_;
+  std::vector<std::vector<std::pair<const std::byte*, std::size_t>>> ranges_;
+
+  // Stats.
+  std::atomic<std::uint64_t> counts_[kNumMsgTypes] = {};
+  std::atomic<std::uint64_t> bytes_[kNumMsgTypes] = {};
+  std::atomic<std::uint64_t> rdma_ops_{0};
+  std::atomic<std::uint64_t> rdma_bytes_{0};
+  std::vector<std::atomic<std::uint64_t>> pair_counts_;  // P*P when enabled
+  std::vector<std::atomic<std::uint64_t>> ctrl_pair_counts_;
+
+  // DMA engine.
+  std::mutex dma_mu_;
+  std::condition_variable dma_cv_;
+  std::deque<std::pair<DmaOp, MsgType>> dma_queue_;
+  bool dma_stop_ = false;
+  std::vector<std::thread> dma_workers_;
+};
+
+}  // namespace x10rt

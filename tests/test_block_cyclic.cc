@@ -1,0 +1,145 @@
+// Unit and property tests for the 2D block-cyclic distribution under HPL
+// (paper §5.1) — the mapping invariants the distributed factorization
+// depends on.
+#include "kernels/hpl/block_cyclic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using kernels::BlockCyclic;
+using kernels::choose_process_grid;
+
+struct GridCase {
+  int n, nb, pr_grid, pc_grid;
+};
+
+class BlockCyclicSweep : public ::testing::TestWithParam<GridCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockCyclicSweep,
+    ::testing::Values(GridCase{64, 16, 1, 1}, GridCase{64, 16, 2, 2},
+                      GridCase{100, 16, 2, 2},   // ragged final block
+                      GridCase{96, 8, 2, 4},     // non-square grid
+                      GridCase{50, 7, 3, 2},     // nothing divides anything
+                      GridCase{16, 32, 2, 2}),   // block bigger than matrix
+    [](const auto& info) {
+      const auto& c = info.param;
+      return "n" + std::to_string(c.n) + "_nb" + std::to_string(c.nb) + "_" +
+             std::to_string(c.pr_grid) + "x" + std::to_string(c.pc_grid);
+    });
+
+TEST_P(BlockCyclicSweep, OwnershipPartitionsEveryEntry) {
+  const auto c = GetParam();
+  // Every global (i, j) must be owned by exactly one grid position.
+  for (int gi = 0; gi < c.n; ++gi) {
+    int row_owners = 0;
+    for (int pr = 0; pr < c.pr_grid; ++pr) {
+      BlockCyclic local;
+      local.init(c.n, c.nb, c.pr_grid, c.pc_grid, pr, 0,
+                 [](int, int) { return 0.0; });
+      if (local.owns_row(gi)) ++row_owners;
+    }
+    ASSERT_EQ(row_owners, 1) << "row " << gi;
+  }
+}
+
+TEST_P(BlockCyclicSweep, LocalGlobalRoundTrip) {
+  const auto c = GetParam();
+  for (int pr = 0; pr < c.pr_grid; ++pr) {
+    for (int pc = 0; pc < c.pc_grid; ++pc) {
+      BlockCyclic local;
+      local.init(c.n, c.nb, c.pr_grid, c.pc_grid, pr, pc,
+                 [](int, int) { return 0.0; });
+      for (int li = 0; li < local.my_rows; ++li) {
+        const int gi = local.global_row(li);
+        ASSERT_GE(gi, 0);
+        ASSERT_LT(gi, c.n);
+        ASSERT_TRUE(local.owns_row(gi));
+        ASSERT_EQ(local.local_row(gi), li);
+      }
+      for (int lj = 0; lj < local.my_cols; ++lj) {
+        const int gj = local.global_col(lj);
+        ASSERT_TRUE(local.owns_col(gj));
+        ASSERT_EQ(local.local_col(gj), lj);
+      }
+    }
+  }
+}
+
+TEST_P(BlockCyclicSweep, CountsSumToMatrixOrder) {
+  const auto c = GetParam();
+  int total_rows = 0;
+  for (int pr = 0; pr < c.pr_grid; ++pr) {
+    total_rows += BlockCyclic::count_owned(c.n, c.nb, c.pr_grid, pr);
+  }
+  EXPECT_EQ(total_rows, c.n);
+  int total_cols = 0;
+  for (int pc = 0; pc < c.pc_grid; ++pc) {
+    total_cols += BlockCyclic::count_owned(c.n, c.nb, c.pc_grid, pc);
+  }
+  EXPECT_EQ(total_cols, c.n);
+}
+
+TEST_P(BlockCyclicSweep, LocalRowsMonotoneInGlobalIndex) {
+  const auto c = GetParam();
+  for (int pr = 0; pr < c.pr_grid; ++pr) {
+    BlockCyclic local;
+    local.init(c.n, c.nb, c.pr_grid, c.pc_grid, pr, 0,
+               [](int, int) { return 0.0; });
+    for (int li = 1; li < local.my_rows; ++li) {
+      ASSERT_GT(local.global_row(li), local.global_row(li - 1));
+    }
+  }
+}
+
+TEST_P(BlockCyclicSweep, TrailingTailIsContiguous) {
+  const auto c = GetParam();
+  BlockCyclic local;
+  local.init(c.n, c.nb, c.pr_grid, c.pc_grid, c.pr_grid - 1, 0,
+             [](int, int) { return 0.0; });
+  for (int cutoff = 0; cutoff <= c.n; cutoff += c.nb / 2 + 1) {
+    const int first = local.first_local_row_ge(cutoff);
+    for (int li = 0; li < local.my_rows; ++li) {
+      const bool trailing = local.global_row(li) >= cutoff;
+      ASSERT_EQ(trailing, li >= first) << "cutoff " << cutoff;
+    }
+  }
+}
+
+TEST_P(BlockCyclicSweep, InitFillsFromGenerator) {
+  const auto c = GetParam();
+  BlockCyclic local;
+  local.init(c.n, c.nb, c.pr_grid, c.pc_grid, 0, 0, [](int gi, int gj) {
+    return gi * 1000.0 + gj;
+  });
+  for (int li = 0; li < local.my_rows; ++li) {
+    for (int lj = 0; lj < local.my_cols; ++lj) {
+      ASSERT_DOUBLE_EQ(local.get(li, lj),
+                       local.global_row(li) * 1000.0 + local.global_col(lj));
+    }
+  }
+}
+
+TEST(ProcessGrid, NearSquareFactorizations) {
+  int pr = 0, pc = 0;
+  choose_process_grid(1, pr, pc);
+  EXPECT_EQ(std::make_pair(pr, pc), std::make_pair(1, 1));
+  choose_process_grid(4, pr, pc);
+  EXPECT_EQ(std::make_pair(pr, pc), std::make_pair(2, 2));
+  choose_process_grid(8, pr, pc);
+  EXPECT_EQ(std::make_pair(pr, pc), std::make_pair(2, 4));
+  choose_process_grid(12, pr, pc);
+  EXPECT_EQ(std::make_pair(pr, pc), std::make_pair(3, 4));
+  choose_process_grid(7, pr, pc);  // prime: degenerates to 1 x P
+  EXPECT_EQ(std::make_pair(pr, pc), std::make_pair(1, 7));
+  for (int p = 1; p <= 64; ++p) {
+    choose_process_grid(p, pr, pc);
+    EXPECT_EQ(pr * pc, p);
+    EXPECT_LE(pr, pc);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,298 @@
+// Extension features: the §3.1 implementation-selection analyzer
+// (profile_finish / recommended_pragma), reduce/scatter/gather collectives,
+// dynamic clock registration, and binomial UTS trees.
+#include "kernels/uts/uts.h"
+#include "runtime/api.h"
+#include "runtime/clock.h"
+#include "runtime/team.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace {
+
+using namespace apgas;
+
+Config cfg_n(int places) {
+  Config cfg;
+  cfg.places = places;
+  cfg.places_per_node = 4;
+  return cfg;
+}
+
+// --- finish pattern analyzer ---------------------------------------------------
+
+TEST(FinishAdvisor, ClassifiesLocalOnly) {
+  Runtime::run(cfg_n(3), [&] {
+    const Pragma rec = profile_finish([] {
+      for (int i = 0; i < 5; ++i) async([] {});
+    });
+    EXPECT_EQ(rec, Pragma::kLocal);
+  });
+}
+
+TEST(FinishAdvisor, ClassifiesSingleRemoteAsAsync) {
+  Runtime::run(cfg_n(3), [&] {
+    // The paper's FINISH_ASYNC example: finish at(p) async S.
+    const Pragma rec = profile_finish([] { asyncAt(2, [] {}); });
+    EXPECT_EQ(rec, Pragma::kAsync);
+  });
+}
+
+TEST(FinishAdvisor, ClassifiesRoundTripAsHere) {
+  Runtime::run(cfg_n(3), [&] {
+    // The paper's FINISH_HERE example: h=here; finish at(p) async {at(h)
+    // async S2;}.
+    const int h = here();
+    const Pragma rec = profile_finish([h] {
+      asyncAt(1, [h] { asyncAt(h, [] {}); });
+    });
+    EXPECT_EQ(rec, Pragma::kHere);
+  });
+}
+
+TEST(FinishAdvisor, ClassifiesFanoutAsSpmd) {
+  Runtime::run(cfg_n(5), [&] {
+    // The paper's FINISH_SPMD example: one remote activity per place whose
+    // nested work hides under nested finishes.
+    const Pragma rec = profile_finish([] {
+      for (int p = 1; p < num_places(); ++p) {
+        asyncAt(p, [] {
+          finish(Pragma::kLocal, [] { async([] {}); });
+        });
+      }
+    });
+    EXPECT_EQ(rec, Pragma::kSpmd);
+  });
+}
+
+TEST(FinishAdvisor, ClassifiesAllToAllAsDense) {
+  Runtime::run(cfg_n(6), [&] {
+    // The paper's FINISH_DENSE example: direct communication between any
+    // two places under the governing finish.
+    const Pragma rec = profile_finish([] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [] {
+          for (int q = 0; q < num_places(); ++q) {
+            asyncAt(q, [] {});
+          }
+        });
+      }
+    });
+    EXPECT_EQ(rec, Pragma::kDense);
+  });
+}
+
+TEST(FinishAdvisor, SparseIrregularStaysDefault) {
+  Runtime::run(cfg_n(6), [&] {
+    // One forwarding chain: remote-to-remote but nowhere near dense.
+    const Pragma rec = profile_finish([] {
+      asyncAt(1, [] { asyncAt(2, [] {}); });
+    });
+    EXPECT_EQ(rec, Pragma::kDefault);
+  });
+}
+
+TEST(FinishAdvisor, MatchesHplClassification) {
+  // §3.1: "it correctly classifies the various occurrences of finish in our
+  // HPL code into instances of FINISH_SPMD, FINISH_ASYNC, and FINISH_HERE."
+  Runtime::run(cfg_n(4), [&] {
+    // Root SPMD launch.
+    EXPECT_EQ(profile_finish([] {
+                for (int p = 1; p < num_places(); ++p) asyncAt(p, [] {});
+              }),
+              Pragma::kSpmd);
+    // A "put" (one-way row shipment).
+    EXPECT_EQ(profile_finish([] { asyncAt(3, [] {}); }), Pragma::kAsync);
+    // A "get" (fetch a remote row).
+    const int h = here();
+    EXPECT_EQ(profile_finish([h] {
+                asyncAt(2, [h] { asyncAt(h, [] {}); });
+              }),
+              Pragma::kHere);
+  });
+}
+
+// --- reduce / scatter / gather ---------------------------------------------------
+
+class TeamExtModes : public ::testing::TestWithParam<TeamMode> {};
+INSTANTIATE_TEST_SUITE_P(EmulatedAndNative, TeamExtModes,
+                         ::testing::Values(TeamMode::kEmulated,
+                                           TeamMode::kNative),
+                         [](const auto& info) {
+                           return info.param == TeamMode::kEmulated
+                                      ? "Emulated"
+                                      : "Native";
+                         });
+
+TEST_P(TeamExtModes, ReduceToEveryRoot) {
+  const TeamMode mode = GetParam();
+  Runtime::run(cfg_n(5), [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [mode] {
+          Team t = Team::world(mode);
+          for (int root = 0; root < t.size(); ++root) {
+            long v = t.rank() + 1;
+            t.reduce(root, &v, 1, ReduceOp::kSum);
+            if (t.rank() == root) {
+              EXPECT_EQ(v, static_cast<long>(t.size()) * (t.size() + 1) / 2);
+            }
+          }
+        });
+      }
+    });
+  });
+}
+
+TEST_P(TeamExtModes, ScatterDistributesRootBlocks) {
+  const TeamMode mode = GetParam();
+  Runtime::run(cfg_n(4), [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [mode] {
+          Team t = Team::world(mode);
+          constexpr int kRoot = 1;
+          std::vector<int> send;
+          if (t.rank() == kRoot) {
+            send.resize(static_cast<std::size_t>(t.size()) * 3);
+            std::iota(send.begin(), send.end(), 100);
+          }
+          int recv[3] = {-1, -1, -1};
+          t.scatter(kRoot, send.data(), recv, 3);
+          for (int i = 0; i < 3; ++i) {
+            EXPECT_EQ(recv[i], 100 + t.rank() * 3 + i);
+          }
+        });
+      }
+    });
+  });
+}
+
+TEST_P(TeamExtModes, GatherCollectsAtRoot) {
+  const TeamMode mode = GetParam();
+  Runtime::run(cfg_n(4), [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [mode] {
+          Team t = Team::world(mode);
+          constexpr int kRoot = 2;
+          const int mine[2] = {t.rank() * 10, t.rank() * 10 + 1};
+          std::vector<int> recv(static_cast<std::size_t>(t.size()) * 2, -1);
+          t.gather(kRoot, mine, recv.data(), 2);
+          if (t.rank() == kRoot) {
+            for (int r = 0; r < t.size(); ++r) {
+              EXPECT_EQ(recv[r * 2], r * 10);
+              EXPECT_EQ(recv[r * 2 + 1], r * 10 + 1);
+            }
+          }
+        });
+      }
+    });
+  });
+}
+
+TEST_P(TeamExtModes, GatherThenScatterRoundTrip) {
+  const TeamMode mode = GetParam();
+  Runtime::run(cfg_n(4), [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [mode] {
+          Team t = Team::world(mode);
+          const double mine = 1.5 * t.rank();
+          std::vector<double> all(static_cast<std::size_t>(t.size()));
+          t.gather(0, &mine, all.data(), 1);
+          double back = -1;
+          t.scatter(0, all.data(), &back, 1);
+          EXPECT_DOUBLE_EQ(back, mine);
+        });
+      }
+    });
+  });
+}
+
+// --- dynamic clocks --------------------------------------------------------------
+
+TEST(ClockDynamic, RegisteredJoinerParticipates) {
+  Runtime::run(cfg_n(2), [&] {
+    auto clock = Clock::create(1);  // the main activity
+    // Register the clocked async before spawning it (X10's clocked async
+    // registers on the clock at spawn time).
+    clock->register_one();
+    finish([&] {
+      asyncAt(1, [clock] {
+        clock->advance();  // phase 0 together with main
+        clock->drop();
+      });
+      clock->advance();
+    });
+    EXPECT_EQ(clock->phase(), 1u);
+    EXPECT_EQ(clock->participants(), 1);
+  });
+}
+
+TEST(ClockDynamic, DropReleasesWaiters) {
+  Runtime::run(cfg_n(1), [&] {
+    auto clock = Clock::create(2);
+    bool first_done = false;
+    finish([&] {
+      async([&, clock] {
+        clock->advance();  // waits for the second participant
+        first_done = true;
+      });
+      async([&, clock] {
+        // Never advances; dropping must complete the phase for the waiter.
+        clock->drop();
+      });
+    });
+    EXPECT_TRUE(first_done);
+    EXPECT_EQ(clock->participants(), 1);
+  });
+}
+
+// --- binomial UTS ------------------------------------------------------------------
+
+TEST(UtsBinomial, DeterministicAndNontrivial) {
+  kernels::UtsParams p;
+  p.shape = kernels::UtsShape::kBinomial;
+  p.bin_root = 64;
+  p.bin_m = 4;
+  p.bin_q = 0.2;
+  const auto a = kernels::uts_sequential(p);
+  const auto b = kernels::uts_sequential(p);
+  EXPECT_EQ(a.nodes, b.nodes);
+  // Expected size ~ root/(1 - m q) = 64 / 0.2 = 320; any finite tree >= 65.
+  EXPECT_GT(a.nodes, 64u);
+}
+
+TEST(UtsBinomial, DistributedMatchesSequential) {
+  Runtime::run(cfg_n(4), [&] {
+    kernels::UtsParams p;
+    p.shape = kernels::UtsShape::kBinomial;
+    p.bin_root = 512;
+    p.bin_m = 4;
+    p.bin_q = 0.22;
+    auto r = kernels::uts_run(p, /*verify_sequential=*/true);
+    EXPECT_TRUE(r.verified);
+  });
+}
+
+TEST(UtsBinomial, DeeperThanGeometric) {
+  // Binomial trees are the "deep and narrow" shape: same-order node count
+  // needs no depth cut-off at all.
+  kernels::UtsParams geo;
+  geo.depth = 8;
+  kernels::UtsParams bin;
+  bin.shape = kernels::UtsShape::kBinomial;
+  bin.bin_root = 4096;
+  bin.bin_m = 5;
+  bin.bin_q = 0.19;
+  const auto g = kernels::uts_sequential(geo);
+  const auto b = kernels::uts_sequential(bin);
+  EXPECT_GT(g.nodes, 0u);
+  EXPECT_GT(b.nodes, 4096u);
+}
+
+}  // namespace

@@ -1,0 +1,228 @@
+// Lifeline-based global load balancer (paper §3.4, §6.1).
+#include "glb/glb.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace {
+
+using namespace apgas;
+using glb::CounterBag;
+using glb::Glb;
+using glb::GlbConfig;
+using glb::LifelineKind;
+
+Config cfg_n(int places) {
+  Config cfg;
+  cfg.places = places;
+  cfg.places_per_node = 4;
+  return cfg;
+}
+
+// --- lifeline graphs ---------------------------------------------------------
+
+TEST(LifelineGraph, HypercubeDegreeAndSymmetry) {
+  const int p = 16;
+  for (int v = 0; v < p; ++v) {
+    auto out = glb::lifelines_of(v, p, LifelineKind::kHypercube);
+    EXPECT_EQ(out.size(), 4u);  // log2(16)
+    for (int peer : out) {
+      auto back = glb::lifelines_of(peer, p, LifelineKind::kHypercube);
+      EXPECT_NE(std::find(back.begin(), back.end(), v), back.end())
+          << "hypercube lifelines are symmetric";
+    }
+  }
+}
+
+TEST(LifelineGraph, CyclicWorksForAnyPlaceCount) {
+  for (int p : {2, 3, 5, 7, 12, 100}) {
+    for (int v = 0; v < p; ++v) {
+      auto out = glb::lifelines_of(v, p, LifelineKind::kCyclic);
+      EXPECT_GE(static_cast<int>(out.size()), 1);
+      EXPECT_LE(static_cast<int>(out.size()), glb::lifeline_diameter(p));
+      for (int peer : out) {
+        EXPECT_NE(peer, v);
+        EXPECT_GE(peer, 0);
+        EXPECT_LT(peer, p);
+      }
+    }
+  }
+}
+
+TEST(LifelineGraph, DiameterIsLogarithmic) {
+  EXPECT_EQ(glb::lifeline_diameter(1), 0);
+  EXPECT_EQ(glb::lifeline_diameter(2), 1);
+  EXPECT_EQ(glb::lifeline_diameter(1024), 10);
+  EXPECT_EQ(glb::lifeline_diameter(1000), 10);
+}
+
+// --- CounterBag ----------------------------------------------------------------
+
+TEST(CounterBag, ProcessCountsDown) {
+  CounterBag bag(0, 100);
+  EXPECT_EQ(bag.size(), 100u);
+  EXPECT_EQ(bag.process(30), 30u);
+  EXPECT_EQ(bag.size(), 70u);
+  EXPECT_EQ(bag.process(1000), 70u);
+  EXPECT_TRUE(bag.empty());
+  EXPECT_EQ(bag.process(10), 0u);
+}
+
+TEST(CounterBag, SplitTakesHalfOfEveryInterval) {
+  CounterBag bag(0, 100);
+  CounterBag stolen = bag.split();
+  EXPECT_EQ(bag.size(), 50u);
+  EXPECT_EQ(stolen.size(), 50u);
+  bag.merge(std::move(stolen));
+  EXPECT_EQ(bag.size(), 100u);
+  // With two interval fragments, split touches both.
+  CounterBag again = bag.split();
+  EXPECT_EQ(again.size(), 50u);
+}
+
+TEST(CounterBag, SplitOfTinyBagIsEmpty) {
+  CounterBag bag(5, 6);
+  EXPECT_TRUE(bag.split().empty());
+  EXPECT_EQ(bag.size(), 1u);
+}
+
+// --- GLB end-to-end ------------------------------------------------------------
+
+void expect_total(int places, GlbConfig gcfg, std::uint64_t units,
+                  int spin = 0) {
+  Runtime::run(cfg_n(places), [&] {
+    Glb<CounterBag> balancer(gcfg);
+    balancer.run(CounterBag(0, units, spin));
+    std::uint64_t total = 0;
+    std::uint64_t resus = 0;
+    for (int p = 0; p < num_places(); ++p) {
+      total += balancer.stats_at(p).processed;
+      resus += balancer.stats_at(p).resuscitations;
+      EXPECT_TRUE(balancer.bag_at(p).empty());
+    }
+    EXPECT_EQ(total, units);
+    (void)resus;
+  });
+}
+
+TEST(Glb, ProcessesEverythingSinglePlace) { expect_total(1, {}, 5000); }
+
+TEST(Glb, ProcessesEverythingFourPlaces) { expect_total(4, {}, 20000); }
+
+TEST(Glb, ProcessesEverythingManyPlaces) {
+  GlbConfig g;
+  g.chunk = 64;
+  expect_total(12, g, 30000, /*spin=*/8);
+}
+
+TEST(Glb, HypercubeLifelinesPowerOfTwoPlaces) {
+  GlbConfig g;
+  g.lifelines = LifelineKind::kHypercube;
+  expect_total(8, g, 16000, /*spin=*/4);
+}
+
+TEST(Glb, LegacyModeStillCorrect) {
+  GlbConfig g;
+  g.legacy = true;
+  expect_total(6, g, 12000, /*spin=*/4);
+}
+
+TEST(Glb, WorkStartingAtOnePlaceGetsBalanced) {
+  // All work at place 0 (splits of a 1-element initial wave are empty), so
+  // everything other places process must have been stolen or lifelined.
+  Runtime::run(cfg_n(6), [&] {
+    GlbConfig g;
+    g.chunk = 32;
+    Glb<CounterBag> balancer(g);
+    balancer.run(CounterBag(0, 20000, /*spin=*/16));
+    std::uint64_t total = 0;
+    std::uint64_t moved = 0;
+    for (int p = 0; p < num_places(); ++p) {
+      total += balancer.stats_at(p).processed;
+      if (p != 0) moved += balancer.stats_at(p).processed;
+    }
+    EXPECT_EQ(total, 20000u);
+    EXPECT_GT(moved, 0u) << "no work was ever balanced away from place 0";
+  });
+}
+
+TEST(Glb, StealTrafficInvisibleToRootFinish) {
+  // Paper §6.1: the root finish only accounts for the initial distribution
+  // and lifeline work; random steals ride X10RT-level messages.
+  Runtime::run(cfg_n(4), [&] {
+    auto& tr = Runtime::get().transport();
+    GlbConfig g;
+    g.chunk = 16;
+    Glb<CounterBag> balancer(g);
+    tr.reset_stats();
+    balancer.run(CounterBag(0, 8000, /*spin=*/8));
+    EXPECT_GT(tr.count(x10rt::MsgType::kSteal), 0u);
+  });
+}
+
+TEST(Glb, LegacyGeneratesMoreFinishTraffic) {
+  // The §6.2 claim in miniature: per steal, the legacy scheduler pays with
+  // root-finish control traffic; the new one does not.
+  std::uint64_t ctrl_new = 0;
+  std::uint64_t ctrl_legacy = 0;
+  for (bool legacy : {false, true}) {
+    Runtime::run(cfg_n(6), [&] {
+      auto& tr = Runtime::get().transport();
+      GlbConfig g;
+      g.legacy = legacy;
+      g.chunk = 16;
+      Glb<CounterBag> balancer(g);
+      tr.reset_stats();
+      balancer.run(CounterBag(0, 6000, /*spin=*/8));
+      (legacy ? ctrl_legacy : ctrl_new) =
+          tr.count(x10rt::MsgType::kControl) +
+          tr.count(x10rt::MsgType::kTask);
+    });
+  }
+  EXPECT_LT(ctrl_new, ctrl_legacy);
+}
+
+TEST(Glb, StatsAccountForAttempts) {
+  Runtime::run(cfg_n(4), [&] {
+    Glb<CounterBag> balancer{GlbConfig{}};
+    balancer.run(CounterBag(0, 4000, /*spin=*/4));
+    std::uint64_t attempts = 0;
+    for (int p = 0; p < num_places(); ++p) {
+      attempts += balancer.stats_at(p).steal_attempts;
+    }
+    EXPECT_GT(attempts, 0u);
+  });
+}
+
+TEST(Glb, RepeatedRunsOnOneRuntime) {
+  Runtime::run(cfg_n(4), [&] {
+    for (int round = 0; round < 3; ++round) {
+      Glb<CounterBag> balancer{GlbConfig{}};
+      balancer.run(CounterBag(0, 3000));
+      std::uint64_t total = 0;
+      for (int p = 0; p < num_places(); ++p) {
+        total += balancer.stats_at(p).processed;
+      }
+      ASSERT_EQ(total, 3000u) << "round " << round;
+    }
+  });
+}
+
+TEST(Glb, SurvivesChaoticNetwork) {
+  Config cfg = cfg_n(5);
+  cfg.chaos.delay_prob = 0.3;
+  Runtime::run(cfg, [&] {
+    GlbConfig g;
+    g.chunk = 32;
+    Glb<CounterBag> balancer(g);
+    balancer.run(CounterBag(0, 10000, /*spin=*/4));
+    std::uint64_t total = 0;
+    for (int p = 0; p < num_places(); ++p) {
+      total += balancer.stats_at(p).processed;
+    }
+    EXPECT_EQ(total, 10000u);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,278 @@
+// Numeric utilities under the kernels: SHA-1 (FIPS vectors), the UTS
+// splittable stream, dgemm/dtrsm, the radix-2 FFT, R-MAT, and the HPCC
+// RandomAccess stream.
+#include "kernels/util/dgemm.h"
+#include "kernels/util/fft1d.h"
+#include "kernels/util/hpcc_rng.h"
+#include "kernels/util/rmat.h"
+#include "kernels/util/sha1.h"
+#include "kernels/util/splittable_rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <set>
+
+namespace {
+
+using namespace kernels;
+
+// --- SHA-1 -------------------------------------------------------------------
+
+TEST(Sha1, Fips180KnownAnswers) {
+  EXPECT_EQ(sha1_hex(sha1("abc", 3)),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(sha1_hex(sha1("", 0)),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  const std::string two_blocks =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(sha1_hex(sha1(two_blocks.data(), two_blocks.size())),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  std::string a(1000000, 'a');
+  EXPECT_EQ(sha1_hex(sha1(a.data(), a.size())),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, PaddingBoundaries) {
+  // 55, 56, 63, 64, 65 bytes hit every padding branch.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    std::string s(len, 'x');
+    const auto d = sha1(s.data(), s.size());
+    // Stability check: hashing twice is identical.
+    EXPECT_EQ(d, sha1(s.data(), s.size()));
+  }
+}
+
+// --- UTS splittable stream -----------------------------------------------------
+
+TEST(UtsRng, DeterministicTreeShape) {
+  const auto root = UtsNodeState::root(19);
+  const auto again = UtsNodeState::root(19);
+  EXPECT_EQ(root.digest, again.digest);
+  EXPECT_EQ(root.spawn(3).digest, again.spawn(3).digest);
+  EXPECT_NE(root.spawn(0).digest, root.spawn(1).digest);
+}
+
+TEST(UtsRng, ProbabilitiesInRange) {
+  auto s = UtsNodeState::root(19);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const auto child = s.spawn(i);
+    const double p = child.to_prob();
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(UtsRng, GeometricMeanNearB0) {
+  // The geometric child-count distribution has mean ~b0.
+  const double b0 = 4.0;
+  auto s = UtsNodeState::root(7);
+  double total = 0;
+  constexpr int kSamples = 5000;
+  for (std::uint32_t i = 0; i < kSamples; ++i) {
+    total += uts_geo_children(s.spawn(i), 0, b0, 100);
+  }
+  const double mean = total / kSamples;
+  EXPECT_NEAR(mean, b0, 0.35);
+}
+
+TEST(UtsRng, DepthCutoffStopsGrowth) {
+  auto s = UtsNodeState::root(19);
+  EXPECT_EQ(uts_geo_children(s, 5, 4.0, 5), 0);
+  EXPECT_EQ(uts_geo_children(s, 6, 4.0, 5), 0);
+}
+
+// --- dgemm / dtrsm --------------------------------------------------------------
+
+TEST(Dgemm, MatchesNaive) {
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> u(-1, 1);
+  const std::size_t m = 37, n = 29, k = 41;
+  std::vector<double> a(m * k), b(k * n), c(m * n, 0), ref(m * n, 0);
+  for (auto& v : a) v = u(rng);
+  for (auto& v : b) v = u(rng);
+  dgemm_acc(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ref[i * n + j] += a[i * k + kk] * b[kk * n + j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-12);
+}
+
+TEST(Dgemm, SubIsNegatedAcc) {
+  const std::size_t m = 8, n = 8, k = 8;
+  std::vector<double> a(m * k, 0.5), b(k * n, 2.0), c1(m * n, 1.0),
+      c2(m * n, 1.0);
+  dgemm_acc(m, n, k, a.data(), k, b.data(), n, c1.data(), n);
+  dgemm_sub(m, n, k, a.data(), k, b.data(), n, c2.data(), n);
+  for (std::size_t i = 0; i < m * n; ++i) {
+    EXPECT_DOUBLE_EQ(c1[i] - 1.0, -(c2[i] - 1.0));
+  }
+}
+
+TEST(Dtrsm, SolvesUnitLowerSystem) {
+  // L (unit lower) * X = B  =>  dtrsm overwrites B with X.
+  const std::size_t k = 5, n = 3;
+  std::vector<double> l = {
+      1, 0, 0, 0, 0,
+      2, 1, 0, 0, 0,
+      -1, 3, 1, 0, 0,
+      0.5, -2, 1, 1, 0,
+      1, 1, 1, 1, 1,
+  };
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> u(-1, 1);
+  std::vector<double> x_true(k * n);
+  for (auto& v : x_true) v = u(rng);
+  std::vector<double> b(k * n, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t p = 0; p <= i; ++p) {
+      const double lip = p == i ? 1.0 : l[i * k + p];
+      for (std::size_t j = 0; j < n; ++j) b[i * n + j] += lip * x_true[p * n + j];
+    }
+  }
+  dtrsm_lower_unit(k, n, l.data(), k, b.data(), n);
+  for (std::size_t i = 0; i < k * n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-12);
+}
+
+// --- FFT ------------------------------------------------------------------------
+
+TEST(Fft1d, MatchesNaiveDft) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(-1, 1);
+  for (std::size_t n : {2u, 8u, 64u, 256u}) {
+    std::vector<Complex> x(n);
+    for (auto& v : x) v = Complex(u(rng), u(rng));
+    auto ref = dft_naive(x.data(), n);
+    fft_forward(x.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(x[i] - ref[i]), 0.0, 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(Fft1d, InverseRoundTrip) {
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> u(-1, 1);
+  std::vector<Complex> x(512);
+  for (auto& v : x) v = Complex(u(rng), u(rng));
+  auto orig = x;
+  fft_forward(x.data(), x.size());
+  fft_inverse(x.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(x[i] - orig[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft1d, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> x(16, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  fft_forward(x.data(), x.size());
+  for (const auto& v : x) EXPECT_NEAR(std::abs(v - Complex(1, 0)), 0.0, 1e-12);
+}
+
+// --- R-MAT ----------------------------------------------------------------------
+
+TEST(Rmat, GeneratesRequestedShape) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 8;
+  auto g = rmat_generate(p);
+  EXPECT_EQ(g.num_vertices, 256);
+  // Self-loops dropped, so slightly under edge_factor * V.
+  EXPECT_GT(g.num_edges(), 200 * 8);
+  EXPECT_LE(g.num_edges(), 256 * 8);
+  // CSR is internally consistent.
+  EXPECT_EQ(g.offsets.front(), 0);
+  EXPECT_EQ(static_cast<std::size_t>(g.offsets.back()), g.adjacency.size());
+}
+
+TEST(Rmat, UndirectedSymmetry) {
+  RmatParams p;
+  p.scale = 6;
+  auto g = rmat_generate(p);
+  // Degree sum equals 2x edges and every adjacency entry is a valid vertex.
+  std::int64_t total = 0;
+  for (std::int64_t v = 0; v < g.num_vertices; ++v) total += g.degree(v);
+  EXPECT_EQ(total, 2 * g.num_edges());
+  for (auto w : g.adjacency) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, g.num_vertices);
+  }
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  RmatParams p;
+  p.scale = 10;
+  auto g = rmat_generate(p);
+  std::int64_t max_deg = 0;
+  for (std::int64_t v = 0; v < g.num_vertices; ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  const double avg = 2.0 * g.num_edges() / g.num_vertices;
+  EXPECT_GT(static_cast<double>(max_deg), 4 * avg)
+      << "R-MAT should produce hubs";
+}
+
+TEST(Rmat, DeterministicForSeed) {
+  RmatParams p;
+  p.scale = 6;
+  auto g1 = rmat_generate(p);
+  auto g2 = rmat_generate(p);
+  EXPECT_EQ(g1.adjacency, g2.adjacency);
+  p.seed += 1;
+  auto g3 = rmat_generate(p);
+  EXPECT_NE(g1.adjacency, g3.adjacency);
+}
+
+// --- HPCC RNG -------------------------------------------------------------------
+
+TEST(HpccRng, StartsMatchesSequentialWalk) {
+  // starts(n) must equal n applications of the step map from starts(0).
+  std::uint64_t walk = hpcc_starts(0);
+  for (std::int64_t n = 1; n <= 300; ++n) {
+    walk = hpcc_next(walk);
+    ASSERT_EQ(hpcc_starts(n), walk) << "n=" << n;
+  }
+}
+
+TEST(HpccRng, JumpAheadConsistency) {
+  // starts(a+b) reachable by walking b steps from starts(a).
+  for (auto [a, b] : {std::pair<long, long>{1000, 37},
+                      {123456, 789}, {1, 1}}) {
+    std::uint64_t x = hpcc_starts(a);
+    for (long i = 0; i < b; ++i) x = hpcc_next(x);
+    EXPECT_EQ(x, hpcc_starts(a + b));
+  }
+}
+
+TEST(HpccRng, StreamExercisesEveryBitAndRepeatsNothingSoon) {
+  // The GF(2) stream is not popcount-balanced (its orbit is a proper
+  // subgroup — true of real HPCC too); what RandomAccess needs is that
+  // every table-index bit varies and that short windows don't repeat.
+  std::uint64_t x = hpcc_starts(5000);
+  std::uint64_t seen_set = 0;
+  std::uint64_t seen_clear = 0;
+  std::set<std::uint64_t> values;
+  constexpr int kSamples = 4096;
+  for (int i = 0; i < kSamples; ++i) {
+    x = hpcc_next(x);
+    seen_set |= x;
+    seen_clear |= ~x;
+    values.insert(x);
+  }
+  EXPECT_EQ(seen_set, ~0ULL) << "every bit position takes value 1";
+  EXPECT_EQ(seen_clear, ~0ULL) << "every bit position takes value 0";
+  EXPECT_EQ(values.size(), static_cast<std::size_t>(kSamples))
+      << "no repeats within a short window";
+}
+
+}  // namespace

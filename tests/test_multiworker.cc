@@ -1,0 +1,115 @@
+// Multiple workers per place (X10_NTHREADS > 1). The paper's runs use one
+// worker per place, but the runtime supports more; these tests exercise the
+// locked paths (finish state, remote blocks, monitors, team mailboxes) under
+// real intra-place parallelism.
+#include "runtime/api.h"
+#include "runtime/dist_rail.h"
+#include "runtime/monitor.h"
+#include "runtime/team.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace {
+
+using namespace apgas;
+
+Config cfg_w(int places, int workers) {
+  Config cfg;
+  cfg.places = places;
+  cfg.workers_per_place = workers;
+  cfg.places_per_node = 4;
+  return cfg;
+}
+
+class WorkerCounts : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerCounts, ::testing::Values(2, 4));
+
+TEST_P(WorkerCounts, LocalFinishUnderContention) {
+  std::atomic<int> n{0};
+  Runtime::run(cfg_w(1, GetParam()), [&] {
+    finish([&] {
+      for (int i = 0; i < 500; ++i) async([&n] { n.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(n.load(), 500);
+}
+
+TEST_P(WorkerCounts, DistributedFinishUnderContention) {
+  std::atomic<int> n{0};
+  Runtime::run(cfg_w(3, GetParam()), [&] {
+    finish([&] {
+      for (int i = 0; i < 300; ++i) {
+        asyncAt(i % num_places(), [&n] {
+          async([&n] { n.fetch_add(1); });
+          n.fetch_add(1);
+        });
+      }
+    });
+  });
+  EXPECT_EQ(n.load(), 600);
+}
+
+TEST_P(WorkerCounts, ConcurrentFinishesFromSiblingWorkers) {
+  // Two workers at one place can each be blocked in their own finish wait;
+  // both must make progress (each pumps the shared inbox).
+  std::atomic<int> n{0};
+  Runtime::run(cfg_w(2, GetParam()), [&] {
+    finish([&] {
+      for (int lane = 0; lane < 4; ++lane) {
+        async([&n] {
+          finish([&n] {
+            asyncAt(1, [&n] { n.fetch_add(1); });
+          });
+          n.fetch_add(1);
+        });
+      }
+    });
+  });
+  EXPECT_EQ(n.load(), 8);
+}
+
+TEST_P(WorkerCounts, MonitorsSerializeAcrossWorkers) {
+  long counter = 0;
+  Runtime::run(cfg_w(1, GetParam()), [&] {
+    finish([&] {
+      for (int i = 0; i < 600; ++i) {
+        async([&counter] { atomic_do([&counter] { ++counter; }); });
+      }
+    });
+  });
+  EXPECT_EQ(counter, 600);
+}
+
+TEST_P(WorkerCounts, RemoteOpsFromParallelWorkers) {
+  Config cfg = cfg_w(2, GetParam());
+  cfg.congruent_bytes = 4u << 20;
+  Runtime::run(cfg, [&] {
+    auto& space = Runtime::get().congruent();
+    auto cell = space.alloc<std::uint64_t>(1);
+    *space.at_place(1, cell) = 0;
+    finish([&] {
+      for (int i = 0; i < 400; ++i) {
+        async([cell] { remote_add(global_rail(cell, 1), 0, 1); });
+      }
+    });
+    EXPECT_EQ(*space.at_place(1, cell), 400u);
+  });
+}
+
+TEST_P(WorkerCounts, BlockingAtFromSiblingWorkers) {
+  std::atomic<long> sum{0};
+  Runtime::run(cfg_w(3, GetParam()), [&] {
+    finish([&] {
+      for (int i = 0; i < 30; ++i) {
+        async([&sum, i] {
+          sum.fetch_add(at((i % 2) + 1, [] { return here(); }));
+        });
+      }
+    });
+  });
+  EXPECT_EQ(sum.load(), 15 * 1 + 15 * 2);
+}
+
+}  // namespace

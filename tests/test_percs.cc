@@ -1,0 +1,104 @@
+#include "percs/bandwidth.h"
+#include "percs/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using percs::BandwidthModel;
+using percs::LinkType;
+using percs::Machine;
+using percs::MachineShape;
+
+TEST(Topology, ShapeOfFullHurcules) {
+  MachineShape s;
+  EXPECT_EQ(s.octants_per_supernode(), 32);
+  EXPECT_EQ(s.total_octants(), 56 * 32);
+  EXPECT_EQ(s.total_cores(), 57344);  // >= the 55,680 usable in the paper
+}
+
+TEST(Topology, CoordDecomposition) {
+  Machine m;
+  auto c = m.coord_of_core(0);
+  EXPECT_EQ(c.supernode, 0);
+  EXPECT_EQ(c.core, 0);
+
+  // Core 32 is the first core of the second octant of drawer 0.
+  c = m.coord_of_core(32);
+  EXPECT_EQ(c.octant, 1);
+  EXPECT_EQ(c.drawer, 0);
+  EXPECT_EQ(c.core, 0);
+
+  // One full drawer = 8 octants * 32 cores.
+  c = m.coord_of_core(8 * 32);
+  EXPECT_EQ(c.drawer, 1);
+  EXPECT_EQ(c.octant, 0);
+
+  // One full supernode = 4 drawers.
+  c = m.coord_of_core(4L * 8 * 32);
+  EXPECT_EQ(c.supernode, 1);
+  EXPECT_EQ(c.drawer, 0);
+}
+
+TEST(Topology, LinkClassification) {
+  Machine m;
+  EXPECT_EQ(m.link(0, 0), LinkType::kSameOctant);
+  EXPECT_EQ(m.link(0, 7), LinkType::kLL);   // same drawer
+  EXPECT_EQ(m.link(0, 8), LinkType::kLR);   // next drawer, same supernode
+  EXPECT_EQ(m.link(0, 31), LinkType::kLR);  // last octant of supernode 0
+  EXPECT_EQ(m.link(0, 32), LinkType::kD);   // first octant of supernode 1
+}
+
+TEST(Topology, HopCountsAtMostThree) {
+  Machine m;
+  EXPECT_EQ(m.hops(0, 0), 0);
+  EXPECT_EQ(m.hops(0, 5), 1);
+  EXPECT_EQ(m.hops(3, 20), 1);
+  EXPECT_EQ(m.hops(0, 100), 3);  // L-D-L
+  for (int a : {0, 17, 63, 200}) {
+    for (int b : {0, 31, 64, 1500}) {
+      EXPECT_LE(m.hops(a, b), 3);
+    }
+  }
+}
+
+TEST(Bandwidth, SingleSupernodeIsOctantLimited) {
+  BandwidthModel bw;
+  // Within a drawer, LL links dominate and the injection ceiling binds as
+  // the partition grows.
+  EXPECT_GT(bw.alltoall_per_octant(2), 0.0);
+  EXPECT_LE(bw.alltoall_per_octant(32), 192.0);
+}
+
+TEST(Bandwidth, SharpDropAtTwoSupernodes) {
+  BandwidthModel bw;
+  const double one_sn = bw.alltoall_per_octant(32);
+  const double two_sn = bw.alltoall_per_octant(64);
+  // The paper: "a sharp drop in All-To-All bandwidth per octant when going
+  // from one supernode to two supernodes".
+  EXPECT_LT(two_sn, 0.5 * one_sn);
+}
+
+TEST(Bandwidth, SlowRecoveryThenPlateau) {
+  MachineShape big;
+  big.supernodes = 120;  // large enough to reach the plateau crossover
+  BandwidthModel bw(big);
+  const double two_sn = bw.alltoall_per_octant(2 * 32);
+  const double eight_sn = bw.alltoall_per_octant(8 * 32);
+  EXPECT_GT(eight_sn, two_sn);  // recovery as D capacity aggregates
+
+  // Plateau: once 80*S/H exceeds the per-octant ceiling, adding supernodes
+  // no longer changes per-octant bandwidth.
+  const double at_crossover = bw.alltoall_per_octant(80 * 32);
+  const double beyond = bw.alltoall_per_octant(110 * 32);
+  EXPECT_DOUBLE_EQ(at_crossover, beyond);
+}
+
+TEST(Bandwidth, DlinkCeilingFormula) {
+  BandwidthModel bw;
+  // 80 * S / H with H = 32.
+  EXPECT_DOUBLE_EQ(bw.dlink_ceiling_per_octant(2), 80.0 * 2 / 32);
+  EXPECT_DOUBLE_EQ(bw.dlink_ceiling_per_octant(10), 80.0 * 10 / 32);
+}
+
+}  // namespace

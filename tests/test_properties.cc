@@ -1,0 +1,307 @@
+// Property-style parameterized sweeps (TEST_P) over the runtime's invariant
+// surface: finish counting under every (places, chaos) combination, GLB
+// conservation of work across its configuration space, team collectives on
+// awkward team sizes, asyncCopy at many sizes, and deep-nesting stress.
+#include "glb/glb.h"
+#include "kernels/uts/uts.h"
+#include "runtime/api.h"
+#include "runtime/dist_rail.h"
+#include "runtime/team.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace {
+
+using namespace apgas;
+
+Config cfg_n(int places, double chaos = 0.0) {
+  Config cfg;
+  cfg.places = places;
+  cfg.places_per_node = 4;
+  cfg.chaos.delay_prob = chaos;
+  return cfg;
+}
+
+// --- finish counting invariance ------------------------------------------------
+
+using FinishSweepParam = std::tuple<int, double>;  // places, chaos
+
+class FinishSweep : public ::testing::TestWithParam<FinishSweepParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    PlacesTimesChaos, FinishSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(0.0, 0.5)),
+    [](const auto& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) > 0 ? "_chaos" : "_calm");
+    });
+
+TEST_P(FinishSweep, TransitiveSpawnTreeFullyCounted) {
+  const auto [places, chaos] = GetParam();
+  // Every activity spawns two children at rotating places up to depth 4:
+  // 2^5 - 1 activities total, all governed by one finish.
+  std::atomic<int> count{0};
+  Runtime::run(cfg_n(places, chaos), [&] {
+    std::function<void(int)> spawn_tree = [&](int depth) {
+      count.fetch_add(1);
+      if (depth == 0) return;
+      for (int c = 0; c < 2; ++c) {
+        asyncAt((here() + 1 + c) % num_places(),
+                [&, depth] { spawn_tree(depth - 1); });
+      }
+    };
+    finish([&] { spawn_tree(4); });
+    EXPECT_EQ(count.load(), (1 << 5) - 1);
+  });
+}
+
+TEST_P(FinishSweep, SequentialRoundsAreIndependent) {
+  const auto [places, chaos] = GetParam();
+  Runtime::run(cfg_n(places, chaos), [&] {
+    for (int round = 0; round < 10; ++round) {
+      std::atomic<int> n{0};
+      finish([&] {
+        for (int p = 0; p < num_places(); ++p) {
+          asyncAt(p, [&n] { n.fetch_add(1); });
+        }
+      });
+      ASSERT_EQ(n.load(), num_places()) << "round " << round;
+    }
+  });
+}
+
+TEST_P(FinishSweep, BlockingAtChainsResolve) {
+  const auto [places, chaos] = GetParam();
+  Runtime::run(cfg_n(places, chaos), [&] {
+    // A chain of nested blocking ats across all places computes a sum.
+    std::function<long(int)> chain = [&](int hop) -> long {
+      if (hop >= num_places()) return 0;
+      return at(hop, [&chain, hop] { return here() + chain(hop + 1); });
+    };
+    const long got = chain(0);
+    const long expect =
+        static_cast<long>(num_places()) * (num_places() - 1) / 2;
+    EXPECT_EQ(got, expect);
+  });
+}
+
+// --- GLB conservation ------------------------------------------------------------
+
+struct GlbSweepParam {
+  int places;
+  std::size_t chunk;
+  glb::LifelineKind lifelines;
+  bool legacy;
+};
+
+class GlbSweep : public ::testing::TestWithParam<GlbSweepParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpace, GlbSweep,
+    ::testing::Values(
+        GlbSweepParam{2, 16, glb::LifelineKind::kCyclic, false},
+        GlbSweepParam{4, 64, glb::LifelineKind::kCyclic, false},
+        GlbSweepParam{8, 64, glb::LifelineKind::kHypercube, false},
+        GlbSweepParam{8, 256, glb::LifelineKind::kCyclic, false},
+        GlbSweepParam{5, 64, glb::LifelineKind::kCyclic, true},
+        GlbSweepParam{4, 1, glb::LifelineKind::kCyclic, false}),
+    [](const auto& info) {
+      return "p" + std::to_string(info.param.places) + "_c" +
+             std::to_string(info.param.chunk) +
+             (info.param.lifelines == glb::LifelineKind::kHypercube ? "_hc"
+                                                                    : "_cy") +
+             (info.param.legacy ? "_legacy" : "_new");
+    });
+
+TEST_P(GlbSweep, EveryUnitProcessedExactlyOnce) {
+  const auto param = GetParam();
+  Runtime::run(cfg_n(param.places), [&] {
+    glb::GlbConfig g;
+    g.chunk = param.chunk;
+    g.lifelines = param.lifelines;
+    g.legacy = param.legacy;
+    glb::Glb<glb::CounterBag> balancer(g);
+    constexpr std::uint64_t kUnits = 9001;  // deliberately odd
+    balancer.run(glb::CounterBag(0, kUnits, /*spin=*/2));
+    std::uint64_t total = 0;
+    for (int p = 0; p < num_places(); ++p) {
+      total += balancer.stats_at(p).processed;
+      EXPECT_TRUE(balancer.bag_at(p).empty());
+    }
+    EXPECT_EQ(total, kUnits);
+  });
+}
+
+TEST_P(GlbSweep, UtsCountsMatchSequential) {
+  const auto param = GetParam();
+  Runtime::run(cfg_n(param.places), [&] {
+    kernels::UtsParams p;
+    p.depth = 7;
+    p.glb.chunk = param.chunk;
+    p.glb.lifelines = param.lifelines;
+    p.glb.legacy = param.legacy;
+    auto r = kernels::uts_run(p, /*verify_sequential=*/true);
+    EXPECT_TRUE(r.verified);
+  });
+}
+
+// --- team sizes -------------------------------------------------------------------
+
+class TeamSizes : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(AwkwardSizes, TeamSizes,
+                         ::testing::Values(1, 2, 3, 5, 6, 7, 9));
+
+TEST_P(TeamSizes, CollectivesOnNonPowerOfTwoTeams) {
+  const int places = GetParam();
+  Runtime::run(cfg_n(places), [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [] {
+          Team t = Team::world();
+          t.barrier();
+          long v = t.rank();
+          t.allreduce(&v, 1, ReduceOp::kSum);
+          EXPECT_EQ(v, static_cast<long>(t.size()) * (t.size() - 1) / 2);
+          double b = t.rank() == t.size() - 1 ? 2.5 : 0.0;
+          t.bcast(t.size() - 1, &b, 1);
+          EXPECT_DOUBLE_EQ(b, 2.5);
+          std::vector<int> all(static_cast<std::size_t>(t.size()), -1);
+          const int mine = t.rank() * 3;
+          t.allgather(&mine, all.data(), 1);
+          for (int r = 0; r < t.size(); ++r) EXPECT_EQ(all[r], r * 3);
+        });
+      }
+    });
+  });
+}
+
+// --- asyncCopy size sweep ------------------------------------------------------------
+
+class CopySizes : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, CopySizes,
+                         ::testing::Values(1, 7, 64, 1000, 65536));
+
+TEST_P(CopySizes, RdmaCopyExactAtEverySize) {
+  const std::size_t n = GetParam();
+  Config cfg = cfg_n(2);
+  cfg.congruent_bytes = 4u << 20;
+  Runtime::run(cfg, [&] {
+    auto& space = Runtime::get().congruent();
+    auto arr = space.alloc<std::uint64_t>(n);
+    auto* src = space.at_place(0, arr);
+    for (std::size_t i = 0; i < n; ++i) src[i] = i * 31 + 7;
+    finish([&] { async_copy(src, global_rail(arr, 1), 0, n); });
+    const auto* dst = space.at_place(1, arr);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(dst[i], i * 31 + 7);
+  });
+}
+
+TEST_P(CopySizes, FifoCopyExactAtEverySize) {
+  const std::size_t n = GetParam();
+  Runtime::run(cfg_n(3), [&] {
+    std::vector<std::uint64_t> src(n);
+    std::vector<std::uint64_t> dst(n, 0);
+    for (std::size_t i = 0; i < n; ++i) src[i] = i ^ 0xabcdULL;
+    GlobalRail<std::uint64_t> remote = at(2, [&dst, n] {
+      return make_global_rail(dst.data(), n);
+    });
+    finish([&] { async_copy(src.data(), remote, 0, n); });
+    EXPECT_EQ(dst, src);
+  });
+}
+
+// --- stress ------------------------------------------------------------------------
+
+TEST(Stress, DeeplyNestedFinishes) {
+  Runtime::run(cfg_n(3), [&] {
+    std::atomic<int> leaves{0};
+    std::function<void(int)> nest = [&](int depth) {
+      if (depth == 0) {
+        leaves.fetch_add(1);
+        return;
+      }
+      finish([&] {
+        asyncAt((here() + 1) % num_places(), [&, depth] { nest(depth - 1); });
+      });
+    };
+    nest(24);
+    EXPECT_EQ(leaves.load(), 1);
+  });
+}
+
+TEST(Stress, ManyConcurrentFinishesAcrossPlaces) {
+  Runtime::run(cfg_n(4), [&] {
+    std::atomic<int> done{0};
+    finish([&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [&] {
+          // Each place runs its own series of distributed finishes,
+          // concurrently with everyone else's.
+          for (int i = 0; i < 25; ++i) {
+            finish([&] {
+              asyncAt((here() + i) % num_places(),
+                      [&] { done.fetch_add(1); });
+            });
+          }
+        });
+      }
+    });
+    EXPECT_EQ(done.load(), 100);
+  });
+}
+
+TEST(Stress, WideFanoutThousandsOfActivities) {
+  Runtime::run(cfg_n(4), [&] {
+    std::atomic<int> n{0};
+    finish([&] {
+      for (int i = 0; i < 4000; ++i) {
+        asyncAt(i % num_places(), [&n] { n.fetch_add(1); });
+      }
+    });
+    EXPECT_EQ(n.load(), 4000);
+  });
+}
+
+TEST(Stress, MixedPrimitivesUnderChaos) {
+  Config cfg = cfg_n(5, 0.3);
+  cfg.congruent_bytes = 4u << 20;
+  Runtime::run(cfg, [&] {
+    auto& space = Runtime::get().congruent();
+    auto arr = space.alloc<std::uint64_t>(128);
+    for (int p = 0; p < num_places(); ++p) {
+      auto* mem = space.at_place(p, arr);
+      for (int i = 0; i < 128; ++i) mem[i] = 0;
+    }
+    std::atomic<long> acc{0};
+    finish([&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [&, arr] {
+          // Blocking at + remote op + asyncCopy, all interleaved.
+          const long v = at((here() + 1) % num_places(),
+                            [] { return static_cast<long>(here()) + 1; });
+          acc.fetch_add(v);
+          remote_add(global_rail(arr, (here() + 2) % num_places()), 3, 1);
+          finish([&] {
+            auto* mine = space.at_place(here(), arr);
+            async_copy(mine, global_rail(arr, (here() + 1) % num_places()),
+                       64, 32);
+          });
+        });
+      }
+    });
+    long rotated_sum = 0;
+    for (int p = 1; p <= num_places(); ++p) rotated_sum += p;
+    EXPECT_EQ(acc.load(), rotated_sum);
+    std::uint64_t bumps = 0;
+    for (int p = 0; p < num_places(); ++p) {
+      bumps += space.at_place(p, arr)[3];
+    }
+    EXPECT_EQ(bumps, static_cast<std::uint64_t>(num_places()));
+  });
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+#include "x10rt/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace {
+
+TEST(ByteBuffer, RoundTripsScalars) {
+  x10rt::ByteBuffer buf;
+  buf.put<std::int32_t>(-7);
+  buf.put<std::uint64_t>(0xdeadbeefcafef00dULL);
+  buf.put<double>(3.25);
+  buf.put<char>('x');
+
+  EXPECT_EQ(buf.get<std::int32_t>(), -7);
+  EXPECT_EQ(buf.get<std::uint64_t>(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(buf.get<double>(), 3.25);
+  EXPECT_EQ(buf.get<char>(), 'x');
+  EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(ByteBuffer, RoundTripsStringsAndVectors) {
+  x10rt::ByteBuffer buf;
+  buf.put_string("hello places");
+  buf.put_vector(std::vector<int>{1, 2, 3, 5, 8});
+  buf.put_string("");
+
+  EXPECT_EQ(buf.get_string(), "hello places");
+  EXPECT_EQ(buf.get_vector<int>(), (std::vector<int>{1, 2, 3, 5, 8}));
+  EXPECT_EQ(buf.get_string(), "");
+}
+
+TEST(ByteBuffer, UnderflowThrows) {
+  x10rt::ByteBuffer buf;
+  buf.put<std::int16_t>(42);
+  EXPECT_EQ(buf.get<std::int16_t>(), 42);
+  EXPECT_THROW(buf.get<std::int8_t>(), std::out_of_range);
+}
+
+TEST(ByteBuffer, RewindRereads) {
+  x10rt::ByteBuffer buf;
+  buf.put<int>(11);
+  EXPECT_EQ(buf.get<int>(), 11);
+  buf.rewind();
+  EXPECT_EQ(buf.get<int>(), 11);
+}
+
+TEST(ByteBuffer, SizeTracksPayload) {
+  x10rt::ByteBuffer buf;
+  EXPECT_EQ(buf.size(), 0u);
+  buf.put<std::uint32_t>(1);
+  buf.put_vector(std::vector<std::uint8_t>(10, 0));
+  // 4 (value) + 4 (length prefix) + 10 (payload)
+  EXPECT_EQ(buf.size(), 18u);
+}
+
+struct Pod {
+  int a;
+  double b;
+  friend bool operator==(const Pod&, const Pod&) = default;
+};
+
+TEST(ByteBuffer, RoundTripsPodStructs) {
+  x10rt::ByteBuffer buf;
+  buf.put(Pod{4, 2.5});
+  EXPECT_EQ(buf.get<Pod>(), (Pod{4, 2.5}));
+}
+
+}  // namespace

@@ -1,0 +1,240 @@
+// Team collectives under both the emulated (point-to-point) and native
+// ("hardware") paths — the paper §3.3 split.
+#include "runtime/team.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using namespace apgas;
+
+Config cfg_n(int places) {
+  Config cfg;
+  cfg.places = places;
+  cfg.places_per_node = 4;
+  return cfg;
+}
+
+class TeamModes : public ::testing::TestWithParam<TeamMode> {};
+
+INSTANTIATE_TEST_SUITE_P(EmulatedAndNative, TeamModes,
+                         ::testing::Values(TeamMode::kEmulated,
+                                           TeamMode::kNative),
+                         [](const auto& info) {
+                           return info.param == TeamMode::kEmulated
+                                      ? "Emulated"
+                                      : "Native";
+                         });
+
+TEST_P(TeamModes, BarrierSynchronizesAllPlaces) {
+  const TeamMode mode = GetParam();
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  Runtime::run(cfg_n(6), [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [&, mode] {
+          Team t = Team::world(mode);
+          before.fetch_add(1);
+          t.barrier();
+          if (before.load() != num_places()) violated.store(true);
+          t.barrier();
+        });
+      }
+    });
+  });
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(before.load(), 6);
+}
+
+TEST_P(TeamModes, BroadcastFromEveryRoot) {
+  const TeamMode mode = GetParam();
+  Runtime::run(cfg_n(5), [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [mode] {
+          Team t = Team::world(mode);
+          for (int root = 0; root < t.size(); ++root) {
+            std::vector<double> buf(8, t.rank() == root ? root * 1.5 : -1.0);
+            t.bcast(root, buf.data(), buf.size());
+            for (double v : buf) EXPECT_DOUBLE_EQ(v, root * 1.5);
+          }
+        });
+      }
+    });
+  });
+}
+
+TEST_P(TeamModes, AllreduceSumMinMax) {
+  const TeamMode mode = GetParam();
+  Runtime::run(cfg_n(7), [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [mode] {
+          Team t = Team::world(mode);
+          const int n = t.size();
+          const int r = t.rank();
+
+          std::vector<long> sum{static_cast<long>(r), 10};
+          t.allreduce(sum.data(), 2, ReduceOp::kSum);
+          EXPECT_EQ(sum[0], static_cast<long>(n) * (n - 1) / 2);
+          EXPECT_EQ(sum[1], 10L * n);
+
+          double mn = 100.0 - r;
+          t.allreduce(&mn, 1, ReduceOp::kMin);
+          EXPECT_DOUBLE_EQ(mn, 100.0 - (n - 1));
+
+          double mx = static_cast<double>(r);
+          t.allreduce(&mx, 1, ReduceOp::kMax);
+          EXPECT_DOUBLE_EQ(mx, static_cast<double>(n - 1));
+        });
+      }
+    });
+  });
+}
+
+TEST_P(TeamModes, AlltoallPermutesBlocks) {
+  const TeamMode mode = GetParam();
+  Runtime::run(cfg_n(4), [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [mode] {
+          Team t = Team::world(mode);
+          const int n = t.size();
+          constexpr std::size_t kBlock = 3;
+          std::vector<int> send(kBlock * n);
+          for (int d = 0; d < n; ++d) {
+            for (std::size_t i = 0; i < kBlock; ++i) {
+              send[d * kBlock + i] = t.rank() * 1000 + d * 10 + static_cast<int>(i);
+            }
+          }
+          std::vector<int> recv(kBlock * n, -1);
+          t.alltoall(send.data(), recv.data(), kBlock);
+          for (int s = 0; s < n; ++s) {
+            for (std::size_t i = 0; i < kBlock; ++i) {
+              EXPECT_EQ(recv[s * kBlock + i],
+                        s * 1000 + t.rank() * 10 + static_cast<int>(i));
+            }
+          }
+        });
+      }
+    });
+  });
+}
+
+TEST_P(TeamModes, AllgatherCollectsRankData) {
+  const TeamMode mode = GetParam();
+  Runtime::run(cfg_n(6), [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [mode] {
+          Team t = Team::world(mode);
+          const int mine = t.rank() * 7;
+          std::vector<int> all(static_cast<std::size_t>(t.size()), -1);
+          t.allgather(&mine, all.data(), 1);
+          for (int r = 0; r < t.size(); ++r) EXPECT_EQ(all[r], r * 7);
+        });
+      }
+    });
+  });
+}
+
+TEST_P(TeamModes, RepeatedCollectivesStaySequenced) {
+  const TeamMode mode = GetParam();
+  Runtime::run(cfg_n(4), [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [mode] {
+          Team t = Team::world(mode);
+          for (int iter = 0; iter < 20; ++iter) {
+            long v = iter + t.rank();
+            t.allreduce(&v, 1, ReduceOp::kSum);
+            const long expect =
+                static_cast<long>(t.size()) * iter +
+                static_cast<long>(t.size()) * (t.size() - 1) / 2;
+            ASSERT_EQ(v, expect) << "iteration " << iter;
+          }
+        });
+      }
+    });
+  });
+}
+
+TEST(Team, SplitByColor) {
+  Runtime::run(cfg_n(6), [&] {
+    std::atomic<int> even_sum{0};
+    std::atomic<int> odd_sum{0};
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [&] {
+          Team world = Team::world();
+          const int color = world.rank() % 2;
+          Team sub = world.split(color, world.rank());
+          EXPECT_EQ(sub.size(), 3);
+          // Ranks within the sub-team are ordered by key.
+          long v = 1;
+          sub.allreduce(&v, 1, ReduceOp::kSum);
+          EXPECT_EQ(v, 3);
+          (color == 0 ? even_sum : odd_sum).fetch_add(sub.rank());
+        });
+      }
+    });
+    EXPECT_EQ(even_sum.load(), 0 + 1 + 2);
+    EXPECT_EQ(odd_sum.load(), 0 + 1 + 2);
+  });
+}
+
+TEST(Team, RowColumnSplitLikeHpl) {
+  // The 2D process-grid sub-teams HPL needs (row and column broadcasts).
+  Runtime::run(cfg_n(4), [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [] {
+          Team world = Team::world();
+          const int r = world.rank();
+          const int row = r / 2;
+          const int col = r % 2;
+          Team row_team = world.split(row, col);
+          Team col_team = world.split(100 + col, row);
+          EXPECT_EQ(row_team.size(), 2);
+          EXPECT_EQ(col_team.size(), 2);
+          double v = r == 0 ? 42.0 : 0.0;
+          // Broadcast along row 0 then column teams: all places end with 42.
+          if (row == 0) row_team.bcast(0, &v, 1);
+          col_team.bcast(0, &v, 1);
+          EXPECT_DOUBLE_EQ(v, 42.0);
+        });
+      }
+    });
+  });
+}
+
+TEST(Team, EmulatedUsesMessagesNativeDoesNot) {
+  std::uint64_t emulated_msgs = 0;
+  std::uint64_t native_msgs = 0;
+  for (TeamMode mode : {TeamMode::kEmulated, TeamMode::kNative}) {
+    Runtime::run(cfg_n(6), [&] {
+      auto& tr = Runtime::get().transport();
+      finish(Pragma::kSpmd, [&] {
+        for (int p = 0; p < num_places(); ++p) {
+          asyncAt(p, [mode] {
+            Team t = Team::world(mode);
+            t.barrier();
+            double v = 1.0;
+            t.allreduce(&v, 1, ReduceOp::kSum);
+          });
+        }
+      });
+      const auto count = tr.count(x10rt::MsgType::kCollective);
+      (mode == TeamMode::kEmulated ? emulated_msgs : native_msgs) = count;
+    });
+  }
+  EXPECT_GT(emulated_msgs, 0u);
+  EXPECT_EQ(native_msgs, 0u);  // the "hardware" path bypasses the fifo
+}
+
+}  // namespace

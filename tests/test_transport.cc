@@ -1,0 +1,240 @@
+#include "x10rt/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace {
+
+using x10rt::Message;
+using x10rt::MsgType;
+using x10rt::Transport;
+using x10rt::TransportConfig;
+
+TransportConfig make_cfg(int places, bool count_pairs = false,
+                         int dma_threads = 1) {
+  TransportConfig cfg;
+  cfg.places = places;
+  cfg.count_pairs = count_pairs;
+  cfg.dma_threads = dma_threads;
+  return cfg;
+}
+
+Message make_msg(int src, std::function<void()> fn,
+                 MsgType t = MsgType::kOther, std::size_t bytes = 0) {
+  Message m;
+  m.run = std::move(fn);
+  m.type = t;
+  m.bytes = bytes;
+  m.src = src;
+  return m;
+}
+
+TEST(Transport, DeliversInFifoOrderWithoutChaos) {
+  Transport tr(make_cfg(2));
+  std::vector<int> seen;
+  for (int i = 0; i < 10; ++i) {
+    tr.send(1, make_msg(0, [&seen, i] { seen.push_back(i); }));
+  }
+  while (auto m = tr.poll(1)) m->run();
+  std::vector<int> expect(10);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(Transport, PollEmptyReturnsNullopt) {
+  Transport tr(make_cfg(1));
+  EXPECT_FALSE(tr.poll(0).has_value());
+}
+
+TEST(Transport, ChaosDeliversEverythingEventually) {
+  TransportConfig cfg = make_cfg(2);
+  cfg.chaos.delay_prob = 0.7;
+  Transport tr(cfg);
+  std::set<int> seen;
+  constexpr int kN = 200;
+  for (int i = 0; i < kN; ++i) {
+    tr.send(1, make_msg(0, [&seen, i] { seen.insert(i); }));
+  }
+  // Polling drains both the queue and, when empty, the delayed pool.
+  for (int guard = 0; guard < 100000 && seen.size() < kN; ++guard) {
+    if (auto m = tr.poll(1)) m->run();
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kN));
+}
+
+TEST(Transport, ChaosActuallyReorders) {
+  TransportConfig cfg = make_cfg(2);
+  cfg.chaos.delay_prob = 0.7;
+  Transport tr(cfg);
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    tr.send(1, make_msg(0, [&order, i] { order.push_back(i); }));
+  }
+  while (order.size() < 100) {
+    if (auto m = tr.poll(1)) m->run();
+  }
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NE(order, sorted) << "chaos config should have shuffled delivery";
+}
+
+TEST(Transport, CountsMessagesByType) {
+  Transport tr(make_cfg(2));
+  tr.send(1, make_msg(0, [] {}, MsgType::kControl, 16));
+  tr.send(1, make_msg(0, [] {}, MsgType::kControl, 24));
+  tr.send(1, make_msg(0, [] {}, MsgType::kTask, 64));
+  EXPECT_EQ(tr.count(MsgType::kControl), 2u);
+  EXPECT_EQ(tr.bytes(MsgType::kControl), 40u);
+  EXPECT_EQ(tr.count(MsgType::kTask), 1u);
+  EXPECT_EQ(tr.total_messages(), 3u);
+  tr.reset_stats();
+  EXPECT_EQ(tr.total_messages(), 0u);
+}
+
+TEST(Transport, PairCountsAndOutDegree) {
+  TransportConfig cfg = make_cfg(4, /*count_pairs=*/true);
+  Transport tr(cfg);
+  tr.send(1, make_msg(0, [] {}));
+  tr.send(2, make_msg(0, [] {}));
+  tr.send(2, make_msg(0, [] {}));
+  tr.send(3, make_msg(1, [] {}));
+  EXPECT_EQ(tr.pair_count(0, 2), 2u);
+  EXPECT_EQ(tr.pair_count(0, 1), 1u);
+  EXPECT_EQ(tr.pair_count(1, 3), 1u);
+  EXPECT_EQ(tr.max_out_degree(), 2);  // place 0 reached {1, 2}
+}
+
+TEST(Transport, RegisteredMemoryChecks) {
+  Transport tr(make_cfg(2));
+  std::vector<std::uint64_t> table(8, 0);
+  tr.register_range(1, table.data(), table.size() * sizeof(std::uint64_t));
+  EXPECT_TRUE(tr.is_registered(1, table.data(), 8));
+  EXPECT_TRUE(tr.is_registered(1, &table[7], sizeof(std::uint64_t)));
+  EXPECT_FALSE(tr.is_registered(0, table.data(), 8));
+  EXPECT_FALSE(tr.is_registered(1, table.data(), 1000));
+}
+
+TEST(Transport, RdmaPutCopiesAndNotifiesInitiator) {
+  Transport tr(make_cfg(2));
+  std::vector<double> dst(16, 0.0);
+  std::vector<double> src(16);
+  std::iota(src.begin(), src.end(), 1.0);
+  tr.register_range(1, dst.data(), dst.size() * sizeof(double));
+
+  std::atomic<bool> completed{false};
+  tr.put(0, 1, dst.data(), src.data(), 16 * sizeof(double),
+         [&completed] { completed.store(true); });
+
+  // The completion message lands in the initiator's (place 0's) inbox.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!completed.load() && std::chrono::steady_clock::now() < deadline) {
+    if (auto m = tr.poll(0)) m->run();
+  }
+  EXPECT_TRUE(completed.load());
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(tr.rdma_ops(), 1u);
+  EXPECT_EQ(tr.rdma_bytes(), 16 * sizeof(double));
+}
+
+TEST(Transport, RdmaGetReadsRemote) {
+  Transport tr(make_cfg(2, false, /*dma_threads=*/0));
+  std::vector<int> remote(4, 9);
+  std::vector<int> local(4, 0);
+  tr.register_range(1, remote.data(), remote.size() * sizeof(int));
+  bool done = false;
+  tr.get(0, 1, local.data(), remote.data(), 4 * sizeof(int),
+         [&done] { done = true; });
+  while (auto m = tr.poll(0)) m->run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(local, remote);
+}
+
+TEST(Transport, GupsRemoteXorIsImmediateAndAtomic) {
+  Transport tr(make_cfg(2));
+  std::uint64_t word = 0xff00ff00ff00ff00ULL;
+  tr.register_range(1, &word, sizeof(word));
+  tr.remote_xor64(0, 1, &word, 0x0ff00ff00ff00ff0ULL);
+  EXPECT_EQ(word, 0xff00ff00ff00ff00ULL ^ 0x0ff00ff00ff00ff0ULL);
+}
+
+TEST(Transport, RemoteAddAccumulates) {
+  Transport tr(make_cfg(2));
+  std::uint64_t word = 5;
+  tr.register_range(1, &word, sizeof(word));
+  tr.remote_add64(0, 1, &word, 37);
+  EXPECT_EQ(word, 42u);
+}
+
+TEST(Transport, AmHandlersDispatchWithPayload) {
+  Transport tr(make_cfg(2));
+  std::vector<std::pair<int, std::string>> seen;
+  const int h1 = tr.register_am([&seen](x10rt::ByteBuffer& buf) {
+    const int v = buf.get<int>();
+    seen.emplace_back(v, buf.get_string());
+  });
+  const int h2 = tr.register_am([&seen](x10rt::ByteBuffer& buf) {
+    seen.emplace_back(-buf.get<int>(), "");
+  });
+  EXPECT_NE(h1, h2);
+
+  x10rt::ByteBuffer b1;
+  b1.put(7);
+  b1.put_string("hello");
+  tr.send_am(0, 1, h1, std::move(b1));
+  x10rt::ByteBuffer b2;
+  b2.put(9);
+  tr.send_am(0, 1, h2, std::move(b2), MsgType::kSteal);
+
+  while (auto m = tr.poll(1)) m->run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<int, std::string>{7, "hello"}));
+  EXPECT_EQ(seen[1].first, -9);
+  // Wire size accounted: payload + handler id.
+  EXPECT_GT(tr.bytes(MsgType::kControl), 0u);
+  EXPECT_EQ(tr.count(MsgType::kSteal), 1u);
+}
+
+TEST(Transport, AmPayloadSurvivesChaosReordering) {
+  TransportConfig cfg = make_cfg(2);
+  cfg.chaos.delay_prob = 0.6;
+  Transport tr(cfg);
+  std::multiset<int> seen;
+  const int h = tr.register_am(
+      [&seen](x10rt::ByteBuffer& buf) { seen.insert(buf.get<int>()); });
+  std::multiset<int> expect;
+  for (int i = 0; i < 100; ++i) {
+    x10rt::ByteBuffer b;
+    b.put(i * 3);
+    tr.send_am(0, 1, h, std::move(b));
+    expect.insert(i * 3);
+  }
+  while (seen.size() < 100) {
+    if (auto m = tr.poll(1)) m->run();
+  }
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(Transport, WaitNonemptyWakesOnSend) {
+  Transport tr(make_cfg(2));
+  std::thread sender([&tr] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    tr.send(0, make_msg(1, [] {}));
+  });
+  bool got = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!got && std::chrono::steady_clock::now() < deadline) {
+    got = tr.wait_nonempty(0, std::chrono::microseconds(500));
+  }
+  sender.join();
+  EXPECT_TRUE(got);
+}
+
+}  // namespace
