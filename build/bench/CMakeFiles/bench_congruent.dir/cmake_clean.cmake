@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_congruent.dir/bench_congruent.cc.o"
+  "CMakeFiles/bench_congruent.dir/bench_congruent.cc.o.d"
+  "bench_congruent"
+  "bench_congruent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_congruent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_finish.dir/bench_finish.cc.o"
+  "CMakeFiles/bench_finish.dir/bench_finish.cc.o.d"
+  "bench_finish"
+  "bench_finish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_finish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hpl.dir/bench_hpl.cc.o"
+  "CMakeFiles/bench_hpl.dir/bench_hpl.cc.o.d"
+  "bench_hpl"
+  "bench_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_randomaccess.dir/bench_randomaccess.cc.o"
+  "CMakeFiles/bench_randomaccess.dir/bench_randomaccess.cc.o.d"
+  "bench_randomaccess"
+  "bench_randomaccess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_randomaccess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

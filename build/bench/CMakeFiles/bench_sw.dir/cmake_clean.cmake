@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sw.dir/bench_sw.cc.o"
+  "CMakeFiles/bench_sw.dir/bench_sw.cc.o.d"
+  "bench_sw"
+  "bench_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

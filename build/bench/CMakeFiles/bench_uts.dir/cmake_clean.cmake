@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uts.dir/bench_uts.cc.o"
+  "CMakeFiles/bench_uts.dir/bench_uts.cc.o.d"
+  "bench_uts"
+  "bench_uts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finish_advisor.dir/finish_advisor.cpp.o"
+  "CMakeFiles/finish_advisor.dir/finish_advisor.cpp.o.d"
+  "finish_advisor"
+  "finish_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finish_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

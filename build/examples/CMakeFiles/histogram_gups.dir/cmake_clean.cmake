@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_gups.dir/histogram_gups.cpp.o"
+  "CMakeFiles/histogram_gups.dir/histogram_gups.cpp.o.d"
+  "histogram_gups"
+  "histogram_gups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_gups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nqueens_glb.dir/nqueens_glb.cpp.o"
+  "CMakeFiles/nqueens_glb.dir/nqueens_glb.cpp.o.d"
+  "nqueens_glb"
+  "nqueens_glb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nqueens_glb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

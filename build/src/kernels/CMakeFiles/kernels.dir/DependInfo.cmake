@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/bc/bc.cc" "src/kernels/CMakeFiles/kernels.dir/bc/bc.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/bc/bc.cc.o.d"
+  "/root/repo/src/kernels/fft/fft.cc" "src/kernels/CMakeFiles/kernels.dir/fft/fft.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/fft/fft.cc.o.d"
+  "/root/repo/src/kernels/hpl/hpl.cc" "src/kernels/CMakeFiles/kernels.dir/hpl/hpl.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/hpl/hpl.cc.o.d"
+  "/root/repo/src/kernels/kmeans/kmeans.cc" "src/kernels/CMakeFiles/kernels.dir/kmeans/kmeans.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/kmeans/kmeans.cc.o.d"
+  "/root/repo/src/kernels/ra/randomaccess.cc" "src/kernels/CMakeFiles/kernels.dir/ra/randomaccess.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/ra/randomaccess.cc.o.d"
+  "/root/repo/src/kernels/stream/stream.cc" "src/kernels/CMakeFiles/kernels.dir/stream/stream.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/stream/stream.cc.o.d"
+  "/root/repo/src/kernels/sw/smith_waterman.cc" "src/kernels/CMakeFiles/kernels.dir/sw/smith_waterman.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/sw/smith_waterman.cc.o.d"
+  "/root/repo/src/kernels/uts/uts.cc" "src/kernels/CMakeFiles/kernels.dir/uts/uts.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/uts/uts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/apgas_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/kernels_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/x10rt/CMakeFiles/x10rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

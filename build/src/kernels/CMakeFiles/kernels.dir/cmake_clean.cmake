@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels.dir/bc/bc.cc.o"
+  "CMakeFiles/kernels.dir/bc/bc.cc.o.d"
+  "CMakeFiles/kernels.dir/fft/fft.cc.o"
+  "CMakeFiles/kernels.dir/fft/fft.cc.o.d"
+  "CMakeFiles/kernels.dir/hpl/hpl.cc.o"
+  "CMakeFiles/kernels.dir/hpl/hpl.cc.o.d"
+  "CMakeFiles/kernels.dir/kmeans/kmeans.cc.o"
+  "CMakeFiles/kernels.dir/kmeans/kmeans.cc.o.d"
+  "CMakeFiles/kernels.dir/ra/randomaccess.cc.o"
+  "CMakeFiles/kernels.dir/ra/randomaccess.cc.o.d"
+  "CMakeFiles/kernels.dir/stream/stream.cc.o"
+  "CMakeFiles/kernels.dir/stream/stream.cc.o.d"
+  "CMakeFiles/kernels.dir/sw/smith_waterman.cc.o"
+  "CMakeFiles/kernels.dir/sw/smith_waterman.cc.o.d"
+  "CMakeFiles/kernels.dir/uts/uts.cc.o"
+  "CMakeFiles/kernels.dir/uts/uts.cc.o.d"
+  "libkernels.a"
+  "libkernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

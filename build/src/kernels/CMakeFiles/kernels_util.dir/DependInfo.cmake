@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/util/dgemm.cc" "src/kernels/CMakeFiles/kernels_util.dir/util/dgemm.cc.o" "gcc" "src/kernels/CMakeFiles/kernels_util.dir/util/dgemm.cc.o.d"
+  "/root/repo/src/kernels/util/fft1d.cc" "src/kernels/CMakeFiles/kernels_util.dir/util/fft1d.cc.o" "gcc" "src/kernels/CMakeFiles/kernels_util.dir/util/fft1d.cc.o.d"
+  "/root/repo/src/kernels/util/hpcc_rng.cc" "src/kernels/CMakeFiles/kernels_util.dir/util/hpcc_rng.cc.o" "gcc" "src/kernels/CMakeFiles/kernels_util.dir/util/hpcc_rng.cc.o.d"
+  "/root/repo/src/kernels/util/rmat.cc" "src/kernels/CMakeFiles/kernels_util.dir/util/rmat.cc.o" "gcc" "src/kernels/CMakeFiles/kernels_util.dir/util/rmat.cc.o.d"
+  "/root/repo/src/kernels/util/sha1.cc" "src/kernels/CMakeFiles/kernels_util.dir/util/sha1.cc.o" "gcc" "src/kernels/CMakeFiles/kernels_util.dir/util/sha1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

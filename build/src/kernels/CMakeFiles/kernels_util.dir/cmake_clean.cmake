@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_util.dir/util/dgemm.cc.o"
+  "CMakeFiles/kernels_util.dir/util/dgemm.cc.o.d"
+  "CMakeFiles/kernels_util.dir/util/fft1d.cc.o"
+  "CMakeFiles/kernels_util.dir/util/fft1d.cc.o.d"
+  "CMakeFiles/kernels_util.dir/util/hpcc_rng.cc.o"
+  "CMakeFiles/kernels_util.dir/util/hpcc_rng.cc.o.d"
+  "CMakeFiles/kernels_util.dir/util/rmat.cc.o"
+  "CMakeFiles/kernels_util.dir/util/rmat.cc.o.d"
+  "CMakeFiles/kernels_util.dir/util/sha1.cc.o"
+  "CMakeFiles/kernels_util.dir/util/sha1.cc.o.d"
+  "libkernels_util.a"
+  "libkernels_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percs.dir/bandwidth.cc.o"
+  "CMakeFiles/percs.dir/bandwidth.cc.o.d"
+  "CMakeFiles/percs.dir/topology.cc.o"
+  "CMakeFiles/percs.dir/topology.cc.o.d"
+  "libpercs.a"
+  "libpercs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

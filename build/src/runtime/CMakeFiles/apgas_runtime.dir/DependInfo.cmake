@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/clock.cc" "src/runtime/CMakeFiles/apgas_runtime.dir/clock.cc.o" "gcc" "src/runtime/CMakeFiles/apgas_runtime.dir/clock.cc.o.d"
+  "/root/repo/src/runtime/congruent.cc" "src/runtime/CMakeFiles/apgas_runtime.dir/congruent.cc.o" "gcc" "src/runtime/CMakeFiles/apgas_runtime.dir/congruent.cc.o.d"
+  "/root/repo/src/runtime/finish.cc" "src/runtime/CMakeFiles/apgas_runtime.dir/finish.cc.o" "gcc" "src/runtime/CMakeFiles/apgas_runtime.dir/finish.cc.o.d"
+  "/root/repo/src/runtime/monitor.cc" "src/runtime/CMakeFiles/apgas_runtime.dir/monitor.cc.o" "gcc" "src/runtime/CMakeFiles/apgas_runtime.dir/monitor.cc.o.d"
+  "/root/repo/src/runtime/place_group.cc" "src/runtime/CMakeFiles/apgas_runtime.dir/place_group.cc.o" "gcc" "src/runtime/CMakeFiles/apgas_runtime.dir/place_group.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/runtime/CMakeFiles/apgas_runtime.dir/runtime.cc.o" "gcc" "src/runtime/CMakeFiles/apgas_runtime.dir/runtime.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/runtime/CMakeFiles/apgas_runtime.dir/scheduler.cc.o" "gcc" "src/runtime/CMakeFiles/apgas_runtime.dir/scheduler.cc.o.d"
+  "/root/repo/src/runtime/team.cc" "src/runtime/CMakeFiles/apgas_runtime.dir/team.cc.o" "gcc" "src/runtime/CMakeFiles/apgas_runtime.dir/team.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/x10rt/CMakeFiles/x10rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apgas_runtime.dir/clock.cc.o"
+  "CMakeFiles/apgas_runtime.dir/clock.cc.o.d"
+  "CMakeFiles/apgas_runtime.dir/congruent.cc.o"
+  "CMakeFiles/apgas_runtime.dir/congruent.cc.o.d"
+  "CMakeFiles/apgas_runtime.dir/finish.cc.o"
+  "CMakeFiles/apgas_runtime.dir/finish.cc.o.d"
+  "CMakeFiles/apgas_runtime.dir/monitor.cc.o"
+  "CMakeFiles/apgas_runtime.dir/monitor.cc.o.d"
+  "CMakeFiles/apgas_runtime.dir/place_group.cc.o"
+  "CMakeFiles/apgas_runtime.dir/place_group.cc.o.d"
+  "CMakeFiles/apgas_runtime.dir/runtime.cc.o"
+  "CMakeFiles/apgas_runtime.dir/runtime.cc.o.d"
+  "CMakeFiles/apgas_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/apgas_runtime.dir/scheduler.cc.o.d"
+  "CMakeFiles/apgas_runtime.dir/team.cc.o"
+  "CMakeFiles/apgas_runtime.dir/team.cc.o.d"
+  "libapgas_runtime.a"
+  "libapgas_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apgas_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

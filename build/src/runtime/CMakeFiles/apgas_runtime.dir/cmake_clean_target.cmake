@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapgas_runtime.a"
+)

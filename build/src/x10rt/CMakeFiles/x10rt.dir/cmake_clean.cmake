@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x10rt.dir/transport.cc.o"
+  "CMakeFiles/x10rt.dir/transport.cc.o.d"
+  "libx10rt.a"
+  "libx10rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x10rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glb.dir/test_glb.cc.o"
+  "CMakeFiles/test_glb.dir/test_glb.cc.o.d"
+  "test_glb"
+  "test_glb.pdb"
+  "test_glb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

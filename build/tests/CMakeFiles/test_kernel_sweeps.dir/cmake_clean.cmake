@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_sweeps.dir/test_kernel_sweeps.cc.o"
+  "CMakeFiles/test_kernel_sweeps.dir/test_kernel_sweeps.cc.o.d"
+  "test_kernel_sweeps"
+  "test_kernel_sweeps.pdb"
+  "test_kernel_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_utils.dir/test_kernel_utils.cc.o"
+  "CMakeFiles/test_kernel_utils.dir/test_kernel_utils.cc.o.d"
+  "test_kernel_utils"
+  "test_kernel_utils.pdb"
+  "test_kernel_utils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

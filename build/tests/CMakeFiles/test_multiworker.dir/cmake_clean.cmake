@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiworker.dir/test_multiworker.cc.o"
+  "CMakeFiles/test_multiworker.dir/test_multiworker.cc.o.d"
+  "test_multiworker"
+  "test_multiworker.pdb"
+  "test_multiworker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiworker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_percs.dir/test_percs.cc.o"
+  "CMakeFiles/test_percs.dir/test_percs.cc.o.d"
+  "test_percs"
+  "test_percs.pdb"
+  "test_percs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_percs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

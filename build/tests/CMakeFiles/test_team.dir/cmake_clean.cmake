@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_team.dir/test_team.cc.o"
+  "CMakeFiles/test_team.dir/test_team.cc.o.d"
+  "test_team"
+  "test_team.pdb"
+  "test_team[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_team.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_protocol.dir/test_wire_protocol.cc.o"
+  "CMakeFiles/test_wire_protocol.dir/test_wire_protocol.cc.o.d"
+  "test_wire_protocol"
+  "test_wire_protocol.pdb"
+  "test_wire_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_serialization[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_percs[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_core[1]_include.cmake")
+include("/root/repo/build/tests/test_finish_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_team[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_glb[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_utils[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_block_cyclic[1]_include.cmake")
+include("/root/repo/build/tests/test_hardening[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_wire_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_multiworker[1]_include.cmake")
