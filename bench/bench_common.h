@@ -9,12 +9,61 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "runtime/config.h"
+#include "runtime/metrics.h"
+
 namespace bench {
+
+/// Applies the observability environment to a bench Config:
+///   APGAS_TRACE=<path>     write a Chrome trace_event JSON after the run
+///                          (also enables the flight recorder)
+///   APGAS_TRACE_CAP=<n>    per-place ring capacity in events (default 2^16)
+///   APGAS_METRICS=<path>   write metrics at teardown (.json => JSON,
+///                          anything else => key=value text)
+/// Returns the config so call sites can wrap construction inline.
+inline apgas::Config& observe(apgas::Config& cfg) {
+  if (const char* p = std::getenv("APGAS_TRACE")) {
+    cfg.trace = true;
+    cfg.trace_path = p;
+  }
+  if (const char* p = std::getenv("APGAS_TRACE_CAP")) {
+    cfg.trace_capacity = std::strtoull(p, nullptr, 10);
+  }
+  if (const char* p = std::getenv("APGAS_METRICS")) {
+    cfg.metrics_path = p;
+  }
+  return cfg;
+}
+
+/// Prints machine-readable `label key=value` lines for the previous
+/// Runtime::run, skipping the per-place scheduler counters (noise at bench
+/// granularity; use APGAS_METRICS for the full dump).
+inline void emit_metrics(const std::string& label) {
+  for (const auto& [key, value] : apgas::last_run_metrics()) {
+    if (key.rfind("sched.p", 0) == 0) continue;
+    std::printf("[metrics] %s %s=%llu\n", label.c_str(), key.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  std::fflush(stdout);
+}
+
+/// True when either env knob asks for per-run metric lines on stdout.
+inline bool metrics_requested() {
+  return std::getenv("APGAS_METRICS_STDOUT") != nullptr;
+}
+
+/// emit_metrics gated on APGAS_METRICS_STDOUT — the benches call this after
+/// every run so tables stay clean unless the user opts in.
+inline void maybe_emit_metrics(const std::string& label) {
+  if (metrics_requested()) emit_metrics(label);
+}
 
 inline std::vector<int> sweep_places(int max_places = 16) {
   std::vector<int> out;

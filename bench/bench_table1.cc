@@ -135,12 +135,13 @@ int main() {
     Config cfg;
     cfg.places = kPlaces;
     cfg.congruent_bytes = 16u << 20;
-    Runtime::run(cfg, [&] {
+    Runtime::run(bench::observe(cfg), [&] {
       kernels::StreamParams p;
       p.elements_per_place = 1u << 18;
       p.iterations = 5;
       apgas_rate = kernels::stream_run(p).gb_per_sec_per_place;
     });
+    bench::maybe_emit_metrics("stream");
     bench::row("%-18s %10d %17.2f GB/s %19.2f GB/s %9.0f%% %9.0f%%",
                "EP Stream", kPlaces, apgas_rate, direct,
                100 * apgas_rate / direct, 100 * adj * apgas_rate / direct);
@@ -152,11 +153,12 @@ int main() {
     Config cfg;
     cfg.places = kPlaces;
     cfg.congruent_bytes = 8u << 20;
-    Runtime::run(cfg, [&] {
+    Runtime::run(bench::observe(cfg), [&] {
       kernels::RaParams p;
       p.log2_table_per_place = 15;
       apgas_rate = kernels::randomaccess_run(p).gups_per_place;
     });
+    bench::maybe_emit_metrics("randomaccess");
     bench::row("%-18s %10d %16.4f GUP/s %18.4f GUP/s %9.0f%% %9.0f%%",
                "RandomAccess", kPlaces, apgas_rate, direct,
                100 * apgas_rate / direct, 100 * adj * apgas_rate / direct);
@@ -167,11 +169,12 @@ int main() {
     double apgas_rate = 0;
     Config cfg;
     cfg.places = kPlaces;
-    Runtime::run(cfg, [&] {
+    Runtime::run(bench::observe(cfg), [&] {
       kernels::FftParams p;
       p.log2_size = 19;  // same 2^16 elements per place
       apgas_rate = kernels::fft_run(p).gflops_per_place;
     });
+    bench::maybe_emit_metrics("fft");
     bench::row("%-18s %10d %14.3f Gflop/s %16.3f Gflop/s %9.0f%% %9.0f%%",
                "Global FFT", kPlaces, apgas_rate, direct,
                100 * apgas_rate / direct, 100 * adj * apgas_rate / direct);
@@ -182,12 +185,13 @@ int main() {
     double apgas_rate = 0;
     Config cfg;
     cfg.places = kPlaces;
-    Runtime::run(cfg, [&] {
+    Runtime::run(bench::observe(cfg), [&] {
       kernels::HplParams p;
       p.n = 512;
       p.nb = 32;
       apgas_rate = kernels::hpl_run(p).gflops_per_place;
     });
+    bench::maybe_emit_metrics("hpl");
     bench::row("%-18s %10d %14.3f Gflop/s %16.3f Gflop/s %9.0f%% %9.0f%%",
                "Global HPL", kPlaces, apgas_rate, direct,
                100 * apgas_rate / direct, 100 * adj * apgas_rate / direct);

@@ -26,13 +26,14 @@ Config cfg_n(int places) {
   cfg.places = places;
   cfg.places_per_node = 8;
   cfg.congruent_bytes = 16u << 20;
-  return cfg;
+  return bench::observe(cfg);
 }
 
 template <typename F>
 double per_place_rate(int places, F kernel_rate) {
   double rate = 0;
   Runtime::run(cfg_n(places), [&] { rate = kernel_rate(); });
+  bench::maybe_emit_metrics("places" + std::to_string(places));
   return rate;
 }
 

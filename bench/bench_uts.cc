@@ -18,7 +18,7 @@ int main() {
     Config cfg;
     cfg.places = places;
     cfg.places_per_node = 8;
-    Runtime::run(cfg, [&] {
+    Runtime::run(bench::observe(cfg), [&] {
       kernels::UtsParams p;
       // Weak scaling: one extra depth level every 4x places (b0 = 4).
       int extra = 0;
@@ -48,6 +48,7 @@ int main() {
                  static_cast<double>(max_nodes) / mean,
                  verified ? "yes" : "NO");
     });
+    bench::maybe_emit_metrics("uts.geometric.places" + std::to_string(places));
   }
   bench::row("(paper: 10.929 Mnodes/s/core at 1 core -> 10.712 at 55,680"
              " cores, 98%% efficiency; 69.3T nodes in 116s at scale)");
@@ -59,7 +60,7 @@ int main() {
     Config cfg;
     cfg.places = places;
     cfg.places_per_node = 8;
-    Runtime::run(cfg, [&] {
+    Runtime::run(bench::observe(cfg), [&] {
       kernels::UtsParams p;
       p.shape = kernels::UtsShape::kBinomial;
       p.bin_root = 2000;
@@ -84,6 +85,7 @@ int main() {
                      static_cast<double>(nodes),
                  verified ? "yes" : "NO");
     });
+    bench::maybe_emit_metrics("uts.binomial.places" + std::to_string(places));
   }
   return 0;
 }

@@ -27,6 +27,8 @@
 #include "glb/lifeline_graph.h"
 #include "glb/task_bag.h"
 #include "runtime/api.h"
+#include "runtime/metrics.h"
+#include "runtime/trace.h"
 
 namespace glb {
 
@@ -144,6 +146,10 @@ class Glb {
       ws.incoming_queue.pop_back();
       ws.incoming[static_cast<std::size_t>(thief)] = 0;
       ++ws.stats.resuscitations;
+      apgas::Runtime::get()
+          .metrics()
+          .counter("glb.resuscitations")
+          .fetch_add(1, std::memory_order_relaxed);
       auto loot_ptr = std::make_shared<Bag>(std::move(loot));
       apgas::asyncAt(thief, [states, cfg, loot_ptr] {
         auto& ts = *(*states)[static_cast<std::size_t>(apgas::here())];
@@ -168,6 +174,12 @@ class Glb {
     std::uniform_int_distribution<int> pick(0, bound - 1);
     const int victim = ws.victims[static_cast<std::size_t>(pick(ws.rng))];
     ++ws.stats.steal_attempts;
+    apgas::Runtime::get()
+        .metrics()
+        .counter("glb.steal_attempts")
+        .fetch_add(1, std::memory_order_relaxed);
+    apgas::trace::emit(apgas::trace::Ev::kStealAttempt,
+                       static_cast<std::uint64_t>(victim));
     ws.response_pending = true;
     ws.response_had_loot = false;
 
@@ -211,7 +223,15 @@ class Glb {
     }
     apgas::Runtime::get().sched(self).run_until(
         [&ws] { return !ws.response_pending; });
-    if (ws.response_had_loot) ++ws.stats.steal_hits;
+    if (ws.response_had_loot) {
+      ++ws.stats.steal_hits;
+      apgas::Runtime::get()
+          .metrics()
+          .counter("glb.steal_hits")
+          .fetch_add(1, std::memory_order_relaxed);
+      apgas::trace::emit(apgas::trace::Ev::kStealSuccess,
+                         static_cast<std::uint64_t>(victim));
+    }
     return ws.response_had_loot;
   }
 
@@ -222,6 +242,10 @@ class Glb {
       if (ws.lifeline_requested[i]) continue;
       ws.lifeline_requested[i] = 1;
       ++ws.stats.lifeline_requests;
+      apgas::Runtime::get()
+          .metrics()
+          .counter("glb.lifeline_requests")
+          .fetch_add(1, std::memory_order_relaxed);
       apgas::immediate_at(
           ws.lifelines[i],
           [states, self] {

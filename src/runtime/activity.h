@@ -1,6 +1,7 @@
 // Activities and their link to the governing finish (paper §2.1, §3.1).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 
@@ -49,14 +50,33 @@ struct FinCtx {
   Pragma mode = Pragma::kAuto;
 };
 
-/// A spawned task. `has_credit` is FINISH_HERE bookkeeping: the credit
-/// travels with the task chain and returns to the home place (§3.1).
+/// FINISH_HERE credit weight minted per governed spawn from the finish body.
+/// Weighted credits (Mattern-style) make the termination test reorder-safe:
+/// a spawner gives each child a *share* of its own weight and returns the
+/// remainder on completion, so the home place only ever sees decrements —
+/// `outstanding == 0` then really means "no credit anywhere", and no
+/// interleaving of control messages can show a transient zero. (The earlier
+/// `spawn_count - 1` delta scheme could: a child's -1 could overtake its
+/// parent's +k and release the finish early.)
+inline constexpr std::uint64_t kCreditUnit = 1ull << 62;
+
+/// A spawned task. `credit` is FINISH_HERE bookkeeping: the weight travels
+/// with the task chain (split at each spawn) and returns to home (§3.1).
 struct Activity {
   std::function<void()> body;
   FinCtx fin;                 // invalid key + null home = system activity
-  bool has_credit = false;
+  std::uint64_t credit = 0;   // FINISH_HERE weight carried (0 = none)
   bool remote_origin = false;  // arrived via the transport (an `at ... async`)
-  int spawn_count = 0;  // credit-carrying children (FINISH_HERE accounting)
 };
+
+/// Takes a child's share (half) of a credit-carrying activity's remaining
+/// weight. kCreditUnit supports spawn chains ~62 deep, far beyond any
+/// round-trip pattern FINISH_HERE is meant for.
+inline std::uint64_t take_credit_share(Activity& parent) {
+  const std::uint64_t share = parent.credit / 2;
+  assert(share > 0 && "FINISH_HERE credit exhausted (chain too deep)");
+  parent.credit -= share;
+  return share;
+}
 
 }  // namespace apgas

@@ -15,6 +15,7 @@
 #include "runtime/congruent.h"
 #include "runtime/finish.h"
 #include "runtime/runtime.h"
+#include "runtime/trace.h"
 
 namespace apgas {
 
@@ -68,6 +69,8 @@ inline Pragma profile_finish(const std::function<void()>& body) {
 /// `async S`: spawns a local activity under the innermost enclosing finish.
 inline void async(std::function<void()> f) {
   Runtime& rt = Runtime::get();
+  trace::emit(trace::Ev::kActivitySpawn,
+              static_cast<std::uint64_t>(here()), /*remote=*/0);
   FinCtx ctx = current_spawn_ctx();
   Activity act;
   act.body = std::move(f);
@@ -75,12 +78,12 @@ inline void async(std::function<void()> f) {
   if (ctx.home != nullptr) {
     const bool parent_credit = detail::tl_open_finish == nullptr &&
                                detail::tl_activity != nullptr &&
-                               detail::tl_activity->has_credit &&
+                               detail::tl_activity->credit != 0 &&
                                ctx.home->mode() == Pragma::kHere;
     if (parent_credit) {
-      // FINISH_HERE: children of credit-carrying activities carry credits.
-      act.has_credit = true;
-      ++detail::tl_activity->spawn_count;
+      // FINISH_HERE: children of credit-carrying activities take a share of
+      // the parent's weight (see kCreditUnit in activity.h).
+      act.credit = take_credit_share(*detail::tl_activity);
     } else {
       ctx.home->local_spawn();
     }
@@ -91,8 +94,7 @@ inline void async(std::function<void()> f) {
         fin_remote_local_spawn(rt, ctx);
         break;
       case Pragma::kHere:
-        act.has_credit = true;
-        ++detail::tl_activity->spawn_count;
+        act.credit = take_credit_share(*detail::tl_activity);
         break;
       default:
         assert(false &&
@@ -111,24 +113,31 @@ inline void asyncAt(int p, std::function<void()> f) {
     async(std::move(f));
     return;
   }
+  trace::emit(trace::Ev::kActivitySpawn, static_cast<std::uint64_t>(p),
+              /*remote=*/1);
   FinCtx ctx = current_spawn_ctx();
-  bool with_credit = false;
+  std::uint64_t credit = 0;
   if (ctx.home != nullptr) {
     const bool parent_credit = detail::tl_open_finish == nullptr &&
                                detail::tl_activity != nullptr &&
-                               detail::tl_activity->has_credit;
-    ctx.home->remote_spawn(p, parent_credit);
+                               detail::tl_activity->credit != 0;
+    ctx.home->remote_spawn(p);
     ctx.mode = ctx.home->mode();  // may have upgraded kAuto -> kDefault
-    with_credit = ctx.mode == Pragma::kHere;
-    if (with_credit && parent_credit) ++detail::tl_activity->spawn_count;
+    if (ctx.mode == Pragma::kHere) {
+      // Spawns from the finish body mint fresh weight; spawns from a
+      // credit-carrying activity split the parent's weight.
+      credit = parent_credit ? take_credit_share(*detail::tl_activity)
+                             : ctx.home->mint_credit();
+    }
   } else {
-    with_credit = fin_before_remote_spawn(rt, ctx, p,
-                                          detail::tl_activity->has_credit);
-    if (with_credit) ++detail::tl_activity->spawn_count;
+    if (fin_before_remote_spawn(rt, ctx, p,
+                                detail::tl_activity->credit != 0)) {
+      credit = take_credit_share(*detail::tl_activity);
+    }
   }
   FinCtx wire = ctx;
   wire.home = nullptr;  // resolved at the destination
-  rt.send_task(p, std::move(f), wire, with_credit);
+  rt.send_task(p, std::move(f), wire, credit);
 }
 
 /// Blocking `at(p) e`: shifts to place p, evaluates f, and returns the
@@ -183,6 +192,8 @@ auto at(int p, F&& f) -> std::invoke_result_t<F> {
 inline void immediate_at(int p, std::function<void()> fn,
                          x10rt::MsgType type = x10rt::MsgType::kOther,
                          std::size_t bytes = 32) {
+  trace::emit(trace::Ev::kMsgSend, static_cast<std::uint64_t>(type),
+              static_cast<std::uint64_t>(p));
   x10rt::Message m;
   m.src = here();
   m.type = type;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "x10rt/transport.h"
 
@@ -37,6 +38,24 @@ struct Config {
   /// Simulated page size for the congruent allocator's TLB accounting:
   /// 4 KiB "small" vs 16 MiB "large" pages (paper §3.3).
   bool congruent_large_pages = true;
+
+  // --- flight recorder (docs/observability.md) -----------------------------
+
+  /// Record runtime events (activity/message/finish/steal/team) into the
+  /// per-place ring buffers. Off by default: every event site then costs one
+  /// relaxed atomic load.
+  bool trace = false;
+
+  /// Events retained per place (ring capacity; oldest overwritten).
+  std::size_t trace_capacity = 1u << 16;
+
+  /// If non-empty, Runtime::run writes a Chrome trace_event JSON here at
+  /// teardown (and implies `trace = true`).
+  std::string trace_path;
+
+  /// If non-empty, Runtime::run dumps the MetricsRegistry here at teardown
+  /// (".json" suffix selects JSON, anything else flat key=value lines).
+  std::string metrics_path;
 };
 
 }  // namespace apgas

@@ -4,8 +4,25 @@
 #include <utility>
 
 #include "runtime/runtime.h"
+#include "runtime/trace.h"
 
 namespace apgas {
+
+namespace {
+
+/// Every finish control frame leaves through here: one place to keep the
+/// MetricsRegistry tallies, the trace's kMsgSend events, and the actual
+/// transport send_am in sync.
+void send_ctrl_am(Runtime& rt, int src, int dst, int handler,
+                  x10rt::ByteBuffer buf, MetricsRegistry::Counter* counter,
+                  x10rt::MsgType type = x10rt::MsgType::kControl) {
+  counter->fetch_add(1, std::memory_order_relaxed);
+  trace::emit_at(src, trace::Ev::kMsgSend, static_cast<std::uint64_t>(type),
+                 static_cast<std::uint64_t>(dst));
+  rt.transport().send_am(src, dst, handler, std::move(buf), type);
+}
+
+}  // namespace
 
 // --- snapshot codec ----------------------------------------------------------
 
@@ -51,6 +68,9 @@ FinishHome::FinishHome(Runtime& rt, Pragma pragma) : rt_(rt), pragma_(pragma) {
     std::scoped_lock lock(ps.fin_mu);
     ps.home_finishes.emplace(key_.seq, this);
   }
+  rt_.fin_counters().opened->fetch_add(1, std::memory_order_relaxed);
+  trace::emit(trace::Ev::kFinishOpen, key_.seq,
+              static_cast<std::uint64_t>(pragma_));
   if (pragma_ == Pragma::kDefault || pragma_ == Pragma::kDense) {
     std::scoped_lock lock(mu_);
     upgrade();
@@ -72,6 +92,12 @@ Pragma FinishHome::mode() const {
 
 void FinishHome::upgrade() {
   if (matrix_active_) return;
+  if (pragma_ == Pragma::kAuto) {
+    // Count (and trace) only dynamic upgrades — the paper's "optimistic
+    // local counter turned distributed" moment, not explicit matrix modes.
+    rt_.fin_counters().upgrades->fetch_add(1, std::memory_order_relaxed);
+    trace::emit(trace::Ev::kFinishUpgrade, key_.seq);
+  }
   const int p = rt_.places();
   rows_.resize(static_cast<std::size_t>(p));
   col_sent_.assign(static_cast<std::size_t>(p), 0);
@@ -92,7 +118,7 @@ void FinishHome::local_complete() {
   assert(local_live_ >= 0);
 }
 
-void FinishHome::remote_spawn(int dst, bool from_credit_activity) {
+void FinishHome::remote_spawn(int dst) {
   std::scoped_lock lock(mu_);
   switch (mode()) {
     case Pragma::kLocal:
@@ -115,7 +141,8 @@ void FinishHome::remote_spawn(int dst, bool from_credit_activity) {
       ++credits_;
       break;
     case Pragma::kHere:
-      if (!from_credit_activity) ++credits_;
+      // Weight accounting happens at mint_credit()/credit_return(); the
+      // spawner (api.h) mints or splits the weight before shipping the task.
       break;
     case Pragma::kAuto:
       assert(false);  // mode() never returns kAuto
@@ -138,10 +165,16 @@ void FinishHome::home_task_completed() {
   update_balance(key_.home);
 }
 
-void FinishHome::credit_adjust(std::int64_t delta) {
+std::uint64_t FinishHome::mint_credit() {
   std::scoped_lock lock(mu_);
-  credits_ += delta;
-  assert(credits_ >= 0);
+  credit_out_ += kCreditUnit;
+  return kCreditUnit;
+}
+
+void FinishHome::credit_return(std::uint64_t weight) {
+  std::scoped_lock lock(mu_);
+  assert(credit_out_ >= weight && "credit return exceeds outstanding weight");
+  credit_out_ -= weight;
 }
 
 void FinishHome::on_completions(std::uint64_t n) {
@@ -182,8 +215,14 @@ void FinishHome::apply_snapshot(const Snapshot& s) {
   std::scoped_lock lock(mu_);
   assert(matrix_active_);
   if (s.seq <= rows_[static_cast<std::size_t>(s.place)].seq) {
-    return;  // stale snapshot overtaken by a newer one (network reordering)
+    // Stale snapshot overtaken by a newer one (network reordering). The
+    // sweep tests assert sent == applied + stale as exact accounting.
+    rt_.fin_counters().snapshots_stale->fetch_add(1,
+                                                  std::memory_order_relaxed);
+    return;
   }
+  rt_.fin_counters().snapshots_applied->fetch_add(1,
+                                                  std::memory_order_relaxed);
   apply_row_delta(s.place, s);
 }
 
@@ -200,8 +239,9 @@ bool FinishHome::terminated() {
       return true;
     case Pragma::kAsync:
     case Pragma::kSpmd:
-    case Pragma::kHere:
       return credits_ == 0;
+    case Pragma::kHere:
+      return credit_out_ == 0;
     case Pragma::kDefault:
     case Pragma::kDense:
       return imbalance_ == 0;
@@ -227,10 +267,12 @@ void FinishHome::wait() {
       x10rt::ByteBuffer frame;
       frame.put(key_.home);
       frame.put(key_.seq);
-      rt_.transport().send_am(key_.home, q, rt_.am_release(),
-                              std::move(frame), x10rt::MsgType::kOther);
+      send_ctrl_am(rt_, key_.home, q, rt_.am_release(), std::move(frame),
+                   rt_.fin_counters().releases, x10rt::MsgType::kOther);
     }
   }
+  trace::emit(trace::Ev::kFinishClose, key_.seq,
+              static_cast<std::uint64_t>(pragma_));
 
   std::exception_ptr first;
   {
@@ -325,6 +367,9 @@ int dense_next_hop(Runtime& rt, int at, int final_home) {
 }
 
 void send_snapshot_home(Runtime& rt, const Snapshot& snap, Pragma mode) {
+  // Counted at the origin, whether it travels directly or via dense relays;
+  // the home side counts applied + stale, so the two must balance.
+  rt.fin_counters().snapshots_sent->fetch_add(1, std::memory_order_relaxed);
   x10rt::ByteBuffer buf;
   encode_snapshot(buf, snap);
   const FinishKey key = snap.key;
@@ -333,6 +378,9 @@ void send_snapshot_home(Runtime& rt, const Snapshot& snap, Pragma mode) {
     dense_relay_enqueue(rt, here(), key.home, std::move(frame));
     return;
   }
+  trace::emit(trace::Ev::kMsgSend,
+              static_cast<std::uint64_t>(x10rt::MsgType::kControl),
+              static_cast<std::uint64_t>(key.home));
   rt.transport().send_am(here(), key.home, rt.am_snapshot(), std::move(buf));
 }
 
@@ -405,8 +453,8 @@ void fin_activity_completed(Runtime& rt, const Activity& act) {
   const FinCtx& ctx = act.fin;
   if (ctx.home == nullptr && !ctx.key.valid()) return;  // system activity
   if (ctx.home != nullptr) {
-    if (act.has_credit) {
-      ctx.home->credit_adjust(static_cast<std::int64_t>(act.spawn_count) - 1);
+    if (act.credit != 0) {
+      ctx.home->credit_return(act.credit);
     } else if (act.remote_origin) {
       ctx.home->home_task_completed();
     } else {
@@ -435,21 +483,20 @@ void fin_activity_completed(Runtime& rt, const Activity& act) {
       x10rt::ByteBuffer frame;
       frame.put(ctx.key.seq);
       frame.put<std::uint64_t>(1);
-      rt.transport().send_am(here(), ctx.key.home, rt.am_completions(),
-                             std::move(frame));
+      send_ctrl_am(rt, here(), ctx.key.home, rt.am_completions(),
+                   std::move(frame), rt.fin_counters().completion_msgs);
       break;
     }
     case Pragma::kHere: {
-      assert(act.has_credit);
-      const std::int64_t delta =
-          static_cast<std::int64_t>(act.spawn_count) - 1;
-      if (delta != 0) {
-        x10rt::ByteBuffer frame;
-        frame.put(ctx.key.seq);
-        frame.put(delta);
-        rt.transport().send_am(here(), ctx.key.home, rt.am_credit(),
-                               std::move(frame));
-      }
+      assert(act.credit != 0);
+      // Return the remaining weight (what the children did not take). The
+      // message is a pure decrement of the home's outstanding weight, so no
+      // reordering of these can make the finish release early.
+      x10rt::ByteBuffer frame;
+      frame.put(ctx.key.seq);
+      frame.put(act.credit);
+      send_ctrl_am(rt, here(), ctx.key.home, rt.am_credit(),
+                   std::move(frame), rt.fin_counters().credit_msgs);
       break;
     }
     default:
@@ -514,8 +561,12 @@ void dense_relay_enqueue(Runtime& rt, int at_place, int final_home,
   if (at_place == final_home) {
     x10rt::ByteBuffer buf{std::move(frame)};
     const Snapshot s = decode_snapshot(buf);
-    rt.with_home_finish(s.key,
-                        [&s](FinishHome& fh) { fh.apply_snapshot(s); });
+    if (!rt.with_home_finish(s.key,
+                             [&s](FinishHome& fh) { fh.apply_snapshot(s); })) {
+      // Arrived after release: termination was proven without it -> stale.
+      rt.fin_counters().snapshots_stale->fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
     return;
   }
   const int next = dense_next_hop(rt, at_place, final_home);
@@ -554,8 +605,8 @@ void dense_relay_enqueue(Runtime& rt, int at_place, int final_home,
           batch.put(static_cast<std::uint32_t>(frame2.size()));
           batch.put_raw(frame2.data(), frame2.size());
         }
-        rtp->transport().send_am(at_place, next_hop, rtp->am_dense_relay(),
-                                 std::move(batch));
+        send_ctrl_am(*rtp, at_place, next_hop, rtp->am_dense_relay(),
+                     std::move(batch), rtp->fin_counters().dense_batches);
       }
     };
     rt.sched(at_place).push(std::move(flusher));
@@ -566,7 +617,11 @@ void dense_relay_enqueue(Runtime& rt, int at_place, int final_home,
 
 void fin_am_snapshot(Runtime& rt, x10rt::ByteBuffer& buf) {
   const Snapshot s = decode_snapshot(buf);
-  rt.with_home_finish(s.key, [&s](FinishHome& fh) { fh.apply_snapshot(s); });
+  if (!rt.with_home_finish(s.key,
+                           [&s](FinishHome& fh) { fh.apply_snapshot(s); })) {
+    // Arrived after release: termination was proven without it -> stale.
+    rt.fin_counters().snapshots_stale->fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void fin_am_dense_relay(Runtime& rt, x10rt::ByteBuffer& buf) {
@@ -601,9 +656,11 @@ void fin_am_credit(Runtime& rt, x10rt::ByteBuffer& buf) {
   FinishKey key;
   key.home = here();
   key.seq = buf.get<std::uint64_t>();
-  const auto delta = buf.get<std::int64_t>();
+  const auto weight = buf.get<std::uint64_t>();
+  // A credit return can never outlive its finish: the finish cannot
+  // terminate while any weight is outstanding.
   rt.with_home_finish(key,
-                      [delta](FinishHome& fh) { fh.credit_adjust(delta); });
+                      [weight](FinishHome& fh) { fh.credit_return(weight); });
 }
 
 namespace detail_rail {

@@ -79,19 +79,21 @@ class FinishHome {
   /// A non-credit home-place activity completed.
   void local_complete();
 
-  /// Called before shipping a task to `dst`. `from_credit_activity` is true
-  /// when the spawner itself carries a FINISH_HERE credit (the credit then
-  /// moves with the child instead of minting a new one).
-  void remote_spawn(int dst, bool from_credit_activity);
+  /// Called before shipping a task to `dst` (credit weights for kHere are
+  /// handled separately via mint_credit()/credit_return()).
+  void remote_spawn(int dst);
 
   /// A task under this finish arrived at / completed at the home place
   /// (default/dense matrix row for the home place).
   void home_task_received();
   void home_task_completed();
 
-  /// FINISH_HERE: apply a credit delta (spawn_count - 1 of a completed
-  /// credit-carrying activity). Called directly at home or via control msg.
-  void credit_adjust(std::int64_t delta);
+  /// FINISH_HERE weighted credits (see kCreditUnit in activity.h): the
+  /// finish body mints one unit per governed spawn; completing activities
+  /// return their remaining weight (directly at home or via control msg).
+  /// Only decrements ever arrive, so `outstanding == 0` is reorder-safe.
+  [[nodiscard]] std::uint64_t mint_credit();
+  void credit_return(std::uint64_t weight);
 
   // --- control-message entry points ----------------------------------------
 
@@ -128,7 +130,8 @@ class FinishHome {
 
   mutable std::mutex mu_;
   std::int64_t local_live_ = 0;
-  std::int64_t credits_ = 0;  // kAsync/kSpmd expected completions; kHere credits
+  std::int64_t credits_ = 0;        // kAsync/kSpmd expected completions
+  std::uint64_t credit_out_ = 0;    // kHere outstanding credit weight
 
   // Default/dense matrix state (allocated lazily on upgrade / first use).
   struct Row {

@@ -1,0 +1,107 @@
+#include "runtime/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace apgas {
+
+MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>(0);
+  return *slot;
+}
+
+void MetricsRegistry::add_gauge(const std::string& name, Gauge gauge) {
+  std::scoped_lock lock(mu_);
+  gauges_[name] = std::move(gauge);
+}
+
+std::uint64_t MetricsRegistry::value(const std::string& name) const {
+  // Copy the gauge out so user callbacks never run under the registry lock.
+  Gauge gauge;
+  {
+    std::scoped_lock lock(mu_);
+    if (auto it = counters_.find(name); it != counters_.end()) {
+      return it->second->load(std::memory_order_relaxed);
+    }
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) return 0;
+    gauge = it->second;
+  }
+  return gauge();
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::snapshot() const {
+  std::map<std::string, std::uint64_t> out;
+  std::map<std::string, Gauge> gauges;
+  {
+    std::scoped_lock lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      out[name] = c->load(std::memory_order_relaxed);
+    }
+    gauges = gauges_;
+  }
+  for (const auto& [name, g] : gauges) out[name] = g();
+  return out;
+}
+
+std::string MetricsRegistry::text() const {
+  std::string out;
+  char buf[32];
+  for (const auto& [name, v] : snapshot()) {
+    out += name;
+    std::snprintf(buf, sizeof(buf), "=%" PRIu64 "\n", v);
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json() const {
+  std::string out = "{";
+  char buf[32];
+  bool first = true;
+  for (const auto& [name, v] : snapshot()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + name + "\"";  // metric names never need escaping
+    std::snprintf(buf, sizeof(buf), ":%" PRIu64, v);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+bool MetricsRegistry::write(const std::string& path) const {
+  const bool as_json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  const std::string body = as_json ? json() : text();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[apgas] cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (n != body.size()) {
+    std::fprintf(stderr, "[apgas] short write of metrics %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+namespace {
+std::map<std::string, std::uint64_t> g_last_metrics;  // written at teardown
+}  // namespace
+
+const std::map<std::string, std::uint64_t>& last_run_metrics() {
+  return g_last_metrics;
+}
+
+namespace detail {
+void store_last_metrics(std::map<std::string, std::uint64_t> snapshot) {
+  g_last_metrics = std::move(snapshot);
+}
+}  // namespace detail
+
+}  // namespace apgas

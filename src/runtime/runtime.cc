@@ -1,10 +1,12 @@
 #include "runtime/runtime.h"
 
+#include <string>
 #include <utility>
 
 #include "runtime/api.h"
 #include "runtime/congruent.h"
 #include "runtime/team.h"
+#include "runtime/trace.h"
 
 namespace apgas {
 
@@ -17,12 +19,28 @@ thread_local FinishHome* tl_open_finish = nullptr;
 }  // namespace detail
 
 Runtime::Runtime(const Config& cfg) : cfg_(cfg) {
+  metrics_ = std::make_unique<MetricsRegistry>();
+  finc_.opened = &metrics_->counter("finish.opened");
+  finc_.upgrades = &metrics_->counter("finish.upgrades");
+  finc_.snapshots_sent = &metrics_->counter("finish.snapshots.sent");
+  finc_.snapshots_applied = &metrics_->counter("finish.snapshots.applied");
+  finc_.snapshots_stale = &metrics_->counter("finish.snapshots.stale");
+  finc_.dense_batches = &metrics_->counter("finish.dense.batches");
+  finc_.releases = &metrics_->counter("finish.releases");
+  finc_.completion_msgs = &metrics_->counter("finish.completion_msgs");
+  finc_.credit_msgs = &metrics_->counter("finish.credit_msgs");
+  finc_.tasks_shipped = &metrics_->counter("runtime.tasks_shipped");
+
+  trace::init(cfg_.places, cfg_.trace_capacity,
+              cfg_.trace || !cfg_.trace_path.empty());
+
   x10rt::TransportConfig tc;
   tc.places = cfg_.places;
   tc.chaos = cfg_.chaos;
   tc.count_pairs = cfg_.count_pairs;
   tc.dma_threads = cfg_.dma_threads;
   transport_ = std::make_unique<x10rt::Transport>(tc);
+  register_transport_gauges();
 
   pstates_.reserve(static_cast<std::size_t>(cfg_.places));
   for (int p = 0; p < cfg_.places; ++p) {
@@ -52,6 +70,56 @@ Runtime::Runtime(const Config& cfg) : cfg_(cfg) {
 }
 
 Runtime::~Runtime() = default;
+
+void Runtime::register_transport_gauges() {
+  // The x10rt transport keeps its own tallies (it must stay runtime-
+  // agnostic); expose them as lazily-read gauges under one namespace.
+  x10rt::Transport* tr = transport_.get();
+  for (int t = 0; t < x10rt::kNumMsgTypes; ++t) {
+    const auto type = static_cast<x10rt::MsgType>(t);
+    const std::string cls = x10rt::msg_type_name(type);
+    metrics_->add_gauge("transport.msgs." + cls,
+                        [tr, type] { return tr->count(type); });
+    metrics_->add_gauge("transport.bytes." + cls,
+                        [tr, type] { return tr->bytes(type); });
+  }
+  metrics_->add_gauge("transport.msgs.total",
+                      [tr] { return tr->total_messages(); });
+  metrics_->add_gauge("transport.rdma.ops", [tr] { return tr->rdma_ops(); });
+  metrics_->add_gauge("transport.rdma.bytes",
+                      [tr] { return tr->rdma_bytes(); });
+  if (cfg_.count_pairs) {
+    metrics_->add_gauge("transport.out_degree.max", [tr] {
+      return static_cast<std::uint64_t>(tr->max_out_degree());
+    });
+    metrics_->add_gauge("transport.out_degree.ctrl", [tr] {
+      return static_cast<std::uint64_t>(tr->max_ctrl_out_degree());
+    });
+  }
+  metrics_->add_gauge("trace.events", [] { return trace::total_events(); });
+}
+
+void Runtime::finalize_observability() {
+  // Drain whatever the chaos queues still hold before taking the snapshot.
+  // The job is quiescent (workers joined), but chaos can park control
+  // messages — e.g. a superseded finish snapshot — past the moment the root
+  // finish closes. Running their handlers here lets them be classified
+  // (applied/stale) instead of vanishing with the inboxes, which is what
+  // makes `snapshots.sent == applied + stale` an exact teardown invariant.
+  const int saved_place = detail::tl_place;
+  for (bool progressed = true; progressed;) {
+    progressed = false;
+    for (int p = 0; p < cfg_.places; ++p) {
+      detail::tl_place = p;
+      while (sched(p).step()) progressed = true;
+    }
+  }
+  detail::tl_place = saved_place;
+  detail::store_last_metrics(metrics_->snapshot());
+  if (!cfg_.metrics_path.empty()) metrics_->write(cfg_.metrics_path);
+  if (!cfg_.trace_path.empty()) trace::write_chrome_json(cfg_.trace_path);
+  trace::shutdown();
+}
 
 void Runtime::worker_loop(int place) {
   detail::tl_place = place;
@@ -85,12 +153,17 @@ void Runtime::run(const Config& cfg, std::function<void()> main) {
     }
   }
   for (auto& t : workers) t.join();
+  rt.finalize_observability();
   team_detail::registry_clear();
   current_ = nullptr;
 }
 
 void Runtime::send_task(int dst, std::function<void()> body, const FinCtx& ctx,
-                        bool with_credit) {
+                        std::uint64_t credit) {
+  finc_.tasks_shipped->fetch_add(1, std::memory_order_relaxed);
+  trace::emit(trace::Ev::kMsgSend,
+              static_cast<std::uint64_t>(x10rt::MsgType::kTask),
+              static_cast<std::uint64_t>(dst));
   x10rt::Message m;
   m.src = here();
   m.type = x10rt::MsgType::kTask;
@@ -99,11 +172,11 @@ void Runtime::send_task(int dst, std::function<void()> body, const FinCtx& ctx,
   m.bytes = 64;
   Runtime* rt = this;
   m.run = [rt, body = std::move(body), key = ctx.key, mode = ctx.mode,
-           with_credit]() mutable {
+           credit]() mutable {
     Activity act;
     act.fin = fin_task_received(*rt, key, mode);
     act.body = std::move(body);
-    act.has_credit = with_credit;
+    act.credit = credit;
     act.remote_origin = true;
     rt->sched(here()).run_activity(act);
   };
@@ -111,6 +184,9 @@ void Runtime::send_task(int dst, std::function<void()> body, const FinCtx& ctx,
 }
 
 void Runtime::send_ctrl(int dst, std::function<void()> fn, std::size_t bytes) {
+  trace::emit(trace::Ev::kMsgSend,
+              static_cast<std::uint64_t>(x10rt::MsgType::kControl),
+              static_cast<std::uint64_t>(dst));
   x10rt::Message m;
   m.src = detail::tl_place;  // may be -1 (DMA completion threads)
   m.type = x10rt::MsgType::kControl;
@@ -119,14 +195,15 @@ void Runtime::send_ctrl(int dst, std::function<void()> fn, std::size_t bytes) {
   transport_->send(dst, std::move(m));
 }
 
-void Runtime::with_home_finish(FinishKey key,
+bool Runtime::with_home_finish(FinishKey key,
                                const std::function<void(FinishHome&)>& fn) {
   assert(here() == key.home && "home-registry lookups run at the home place");
   auto& ps = pstate(key.home);
   std::scoped_lock lock(ps.fin_mu);
   auto it = ps.home_finishes.find(key.seq);
-  if (it == ps.home_finishes.end()) return;  // late message, finish released
+  if (it == ps.home_finishes.end()) return false;  // late; finish released
   fn(*it->second);
+  return true;
 }
 
 FinCtx current_spawn_ctx() {

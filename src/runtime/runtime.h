@@ -19,12 +19,29 @@
 #include "runtime/activity.h"
 #include "runtime/config.h"
 #include "runtime/finish.h"
+#include "runtime/metrics.h"
 #include "runtime/scheduler.h"
 #include "x10rt/transport.h"
 
 namespace apgas {
 
 class CongruentSpace;
+
+/// Finish-protocol counters, resolved against the MetricsRegistry once at
+/// startup so the wire-protocol hot paths increment plain atomics (metric
+/// names in docs/observability.md).
+struct FinishCounters {
+  MetricsRegistry::Counter* opened = nullptr;
+  MetricsRegistry::Counter* upgrades = nullptr;
+  MetricsRegistry::Counter* snapshots_sent = nullptr;
+  MetricsRegistry::Counter* snapshots_applied = nullptr;
+  MetricsRegistry::Counter* snapshots_stale = nullptr;
+  MetricsRegistry::Counter* dense_batches = nullptr;
+  MetricsRegistry::Counter* releases = nullptr;
+  MetricsRegistry::Counter* completion_msgs = nullptr;
+  MetricsRegistry::Counter* credit_msgs = nullptr;
+  MetricsRegistry::Counter* tasks_shipped = nullptr;
+};
 
 /// FINISH_DENSE per-master pending control frames, keyed by next hop.
 struct DenseRelay {
@@ -76,6 +93,8 @@ class Runtime {
     return *pstates_[static_cast<std::size_t>(place)]->sched;
   }
   [[nodiscard]] CongruentSpace& congruent() { return *congruent_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return *metrics_; }
+  [[nodiscard]] const FinishCounters& fin_counters() const { return finc_; }
 
   /// Node master of `p` under the places-per-node mapping (FINISH_DENSE
   /// software routing: p - p % b).
@@ -83,16 +102,19 @@ class Runtime {
     return p - p % cfg_.places_per_node;
   }
 
-  /// Ships a task to place `dst` under the given finish context.
+  /// Ships a task to place `dst` under the given finish context. `credit` is
+  /// the FINISH_HERE weight travelling with the task (0 for other protocols).
   void send_task(int dst, std::function<void()> body, const FinCtx& ctx,
-                 bool with_credit);
+                 std::uint64_t credit);
 
   /// Sends a control-message closure (finish protocol traffic).
   void send_ctrl(int dst, std::function<void()> fn, std::size_t bytes);
 
   /// Runs a closure at the home registry entry for `key`, if still present.
   /// Used by control handlers; late messages for released finishes drop.
-  void with_home_finish(FinishKey key,
+  /// Returns false on such a drop so callers can keep their books exact
+  /// (e.g. a post-release snapshot is by definition stale).
+  bool with_home_finish(FinishKey key,
                         const std::function<void(FinishHome&)>& fn);
 
   // Registered active-message handler ids for the finish wire protocol
@@ -107,10 +129,18 @@ class Runtime {
   explicit Runtime(const Config& cfg);
   ~Runtime();
   void worker_loop(int place);
+  void register_transport_gauges();
+  /// After workers join: snapshot metrics for last_run_metrics(), write the
+  /// configured trace/metrics files, tear down the flight recorder.
+  void finalize_observability();
 
   static Runtime* current_;
 
   Config cfg_;
+  // The registry is declared (and constructed) before everything that
+  // resolves counters out of it — schedulers, transport gauges, finc_.
+  std::unique_ptr<MetricsRegistry> metrics_;
+  FinishCounters finc_;
   std::unique_ptr<x10rt::Transport> transport_;
   int am_snapshot_ = -1;
   int am_dense_relay_ = -1;

@@ -1,13 +1,29 @@
 #include "runtime/scheduler.h"
 
 #include <chrono>
+#include <string>
 
 #include "runtime/finish.h"
 #include "runtime/runtime.h"
+#include "runtime/trace.h"
 
 namespace apgas {
 
-Scheduler::Scheduler(Runtime& rt, int place) : rt_(rt), place_(place) {}
+Scheduler::Scheduler(Runtime& rt, int place)
+    : rt_(rt),
+      place_(place),
+      activities_executed_(rt.metrics().counter(
+          "sched.p" + std::to_string(place) + ".activities_executed")),
+      messages_processed_(rt.metrics().counter(
+          "sched.p" + std::to_string(place) + ".messages_processed")),
+      idle_transitions_(rt.metrics().counter(
+          "sched.p" + std::to_string(place) + ".idle_transitions")) {
+  for (int t = 0; t < x10rt::kNumMsgTypes; ++t) {
+    msgs_by_type_[static_cast<std::size_t>(t)] = &rt.metrics().counter(
+        std::string("sched.msgs.") +
+        x10rt::msg_type_name(static_cast<x10rt::MsgType>(t)));
+  }
+}
 
 void Scheduler::push(Activity a) {
   {
@@ -30,11 +46,13 @@ void Scheduler::run_activity(Activity& act) {
   FinishHome* prev_open = detail::tl_open_finish;
   detail::tl_activity = &act;
   detail::tl_open_finish = nullptr;
+  trace::emit_at(place_, trace::Ev::kActivityBegin);
   try {
     act.body();
   } catch (...) {
     fin_report_exception(rt_, act.fin, std::current_exception());
   }
+  trace::emit_at(place_, trace::Ev::kActivityEnd);
   detail::tl_activity = prev_act;
   detail::tl_open_finish = prev_open;
   activities_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -45,6 +63,11 @@ bool Scheduler::step() {
   // Incoming messages first: this keeps control protocols prompt and lets
   // FINISH_DENSE relay flushers (local tasks) batch naturally.
   if (auto msg = rt_.transport().poll(place_)) {
+    trace::emit_at(place_, trace::Ev::kMsgRecv,
+                   static_cast<std::uint64_t>(msg->type),
+                   static_cast<std::uint64_t>(msg->src));
+    msgs_by_type_[static_cast<std::size_t>(msg->type)]->fetch_add(
+        1, std::memory_order_relaxed);
     msg->run();
     messages_processed_.fetch_add(1, std::memory_order_relaxed);
     return true;

@@ -10,6 +10,7 @@
 // and therefore only runs once the inbox has drained).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -18,6 +19,8 @@
 #include <vector>
 
 #include "runtime/activity.h"
+#include "runtime/metrics.h"
+#include "x10rt/message.h"
 
 namespace apgas {
 
@@ -48,6 +51,9 @@ class Scheduler {
 
   [[nodiscard]] int place() const { return place_; }
 
+  // The counters live in the runtime's MetricsRegistry (under
+  // "sched.pN.*"); these getters are thin views kept for existing callers.
+
   /// Activities run to completion on this place (user tasks + system).
   [[nodiscard]] std::uint64_t activities_executed() const {
     return activities_executed_.load(std::memory_order_relaxed);
@@ -73,9 +79,12 @@ class Scheduler {
   std::mutex hooks_mu_;
   std::vector<std::function<void()>> idle_hooks_;
 
-  std::atomic<std::uint64_t> activities_executed_{0};
-  std::atomic<std::uint64_t> messages_processed_{0};
-  std::atomic<std::uint64_t> idle_transitions_{0};
+  // Registry-owned counters, resolved once at construction.
+  MetricsRegistry::Counter& activities_executed_;
+  MetricsRegistry::Counter& messages_processed_;
+  MetricsRegistry::Counter& idle_transitions_;
+  // Messages processed by class, shared across places ("sched.msgs.CLASS").
+  std::array<MetricsRegistry::Counter*, x10rt::kNumMsgTypes> msgs_by_type_{};
 };
 
 }  // namespace apgas

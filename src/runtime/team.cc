@@ -91,6 +91,7 @@ std::vector<std::byte> Team::recv_bytes(std::uint64_t seq, int tag,
 }
 
 void Team::barrier() {
+  team_detail::PhaseScope phase(team_detail::kOpBarrier, state_->id);
   const int sz = size();
   if (sz == 1) return;
   if (state_->mode == TeamMode::kNative) {
@@ -133,6 +134,7 @@ std::byte* Team::native_stage(std::size_t bytes) {
 }
 
 Team Team::split(int color, int key) {
+  team_detail::PhaseScope phase(team_detail::kOpSplit, state_->id);
   struct Entry {
     int color;
     int key;

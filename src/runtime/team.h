@@ -35,6 +35,32 @@ enum class ReduceOp { kSum, kMin, kMax };
 
 namespace team_detail {
 
+/// Collective op ids used for trace kTeamBegin/kTeamEnd events (arg a).
+enum TeamOp : std::uint64_t {
+  kOpBarrier = 0,
+  kOpBcast = 1,
+  kOpReduce = 2,
+  kOpAllreduce = 3,
+  kOpScatter = 4,
+  kOpGather = 5,
+  kOpAlltoall = 6,
+  kOpAllgather = 7,
+  kOpSplit = 8,
+};
+
+/// Brackets one collective call in the flight recorder (arg b = team id).
+/// Nested pairs (allreduce = reduce + bcast) nest properly: waiting members
+/// pump the scheduler, so any interleaved activity begins and ends inside.
+struct PhaseScope {
+  std::uint64_t op;
+  std::uint64_t team;
+  PhaseScope(std::uint64_t op_id, std::uint64_t team_id)
+      : op(op_id), team(team_id) {
+    trace::emit(trace::Ev::kTeamBegin, op, team);
+  }
+  ~PhaseScope() { trace::emit(trace::Ev::kTeamEnd, op, team); }
+};
+
 struct Member {
   std::mutex mu;
   // (op sequence, phase tag, source rank) -> payload
@@ -151,6 +177,7 @@ class Team {
 template <typename T>
 void Team::bcast(int root, T* buf, std::size_t n) {
   static_assert(std::is_trivially_copyable_v<T>);
+  team_detail::PhaseScope phase(team_detail::kOpBcast, state_->id);
   const int sz = size();
   if (sz == 1) return;
   const std::size_t bytes = n * sizeof(T);
@@ -193,6 +220,7 @@ void Team::bcast(int root, T* buf, std::size_t n) {
 template <typename T>
 void Team::reduce(int root, T* buf, std::size_t n, ReduceOp op) {
   static_assert(std::is_trivially_copyable_v<T>);
+  team_detail::PhaseScope phase(team_detail::kOpReduce, state_->id);
   const int sz = size();
   if (sz == 1) return;
   const std::size_t bytes = n * sizeof(T);
@@ -236,6 +264,7 @@ void Team::reduce(int root, T* buf, std::size_t n, ReduceOp op) {
 
 template <typename T>
 void Team::allreduce(T* buf, std::size_t n, ReduceOp op) {
+  team_detail::PhaseScope phase(team_detail::kOpAllreduce, state_->id);
   const int sz = size();
   if (sz == 1) return;
   reduce(0, buf, n, op);
@@ -245,6 +274,7 @@ void Team::allreduce(T* buf, std::size_t n, ReduceOp op) {
 template <typename T>
 void Team::scatter(int root, const T* send, T* recv, std::size_t n) {
   static_assert(std::is_trivially_copyable_v<T>);
+  team_detail::PhaseScope phase(team_detail::kOpScatter, state_->id);
   const int sz = size();
   const std::size_t bytes = n * sizeof(T);
   const int me = rank();
@@ -284,6 +314,7 @@ void Team::scatter(int root, const T* send, T* recv, std::size_t n) {
 template <typename T>
 void Team::gather(int root, const T* send, T* recv, std::size_t n) {
   static_assert(std::is_trivially_copyable_v<T>);
+  team_detail::PhaseScope phase(team_detail::kOpGather, state_->id);
   const int sz = size();
   const std::size_t bytes = n * sizeof(T);
   const int me = rank();
@@ -321,6 +352,7 @@ void Team::gather(int root, const T* send, T* recv, std::size_t n) {
 template <typename T>
 void Team::alltoall(const T* send, T* recv, std::size_t n) {
   static_assert(std::is_trivially_copyable_v<T>);
+  team_detail::PhaseScope phase(team_detail::kOpAlltoall, state_->id);
   const int sz = size();
   const std::size_t bytes = n * sizeof(T);
   const int me = rank();
@@ -357,6 +389,7 @@ void Team::alltoall(const T* send, T* recv, std::size_t n) {
 template <typename T>
 void Team::allgather(const T* send, T* recv, std::size_t n) {
   static_assert(std::is_trivially_copyable_v<T>);
+  team_detail::PhaseScope phase(team_detail::kOpAllgather, state_->id);
   const int sz = size();
   const std::size_t bytes = n * sizeof(T);
   const int me = rank();

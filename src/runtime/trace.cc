@@ -1,0 +1,211 @@
+#include "runtime/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "runtime/runtime.h"
+#include "x10rt/message.h"
+
+namespace apgas::trace {
+
+const char* name(Ev e) {
+  switch (e) {
+    case Ev::kActivitySpawn: return "spawn";
+    case Ev::kActivityBegin: return "activity";
+    case Ev::kActivityEnd: return "activity";
+    case Ev::kFinishOpen: return "finish.open";
+    case Ev::kFinishClose: return "finish.close";
+    case Ev::kFinishUpgrade: return "finish.upgrade";
+    case Ev::kStealAttempt: return "glb.steal";
+    case Ev::kStealSuccess: return "glb.loot";
+    case Ev::kTeamBegin: return "team";
+    case Ev::kTeamEnd: return "team";
+    case Ev::kMsgSend: return "send";
+    case Ev::kMsgRecv: return "recv";
+  }
+  return "?";
+}
+
+// --- Ring --------------------------------------------------------------------
+
+void Ring::reset(std::size_t capacity) {
+  slots_ = std::vector<Slot>(capacity == 0 ? 1 : capacity);
+  cursor_.store(0, std::memory_order_relaxed);
+}
+
+void Ring::push(const Event& e) {
+  const std::uint64_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[i % slots_.size()];
+  s.t.store(e.t_ns, std::memory_order_relaxed);
+  s.meta.store((static_cast<std::uint64_t>(e.kind) << 32) |
+                   static_cast<std::uint32_t>(e.place),
+               std::memory_order_relaxed);
+  s.a.store(e.a, std::memory_order_relaxed);
+  s.b.store(e.b, std::memory_order_relaxed);
+}
+
+std::vector<Event> Ring::drain() const {
+  const std::uint64_t n = cursor_.load(std::memory_order_relaxed);
+  const std::size_t cap = slots_.size();
+  const std::size_t stored = n < cap ? static_cast<std::size_t>(n) : cap;
+  const std::uint64_t first = n - stored;  // index of the oldest retained
+  std::vector<Event> out;
+  out.reserve(stored);
+  for (std::uint64_t i = first; i < n; ++i) {
+    const Slot& s = slots_[i % cap];
+    Event e;
+    e.t_ns = s.t.load(std::memory_order_relaxed);
+    const std::uint64_t meta = s.meta.load(std::memory_order_relaxed);
+    e.kind = static_cast<Ev>(meta >> 32);
+    e.place = static_cast<std::int32_t>(meta & 0xffffffffu);
+    e.a = s.a.load(std::memory_order_relaxed);
+    e.b = s.b.load(std::memory_order_relaxed);
+    out.push_back(e);
+  }
+  return out;
+}
+
+// --- global recorder ---------------------------------------------------------
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct Recorder {
+  std::vector<std::unique_ptr<Ring>> rings;  // [places] + 1 external ring
+  std::chrono::steady_clock::time_point epoch;
+};
+
+std::atomic<Recorder*> g_recorder{nullptr};
+
+std::uint64_t now_ns(const Recorder& r) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - r.epoch)
+          .count());
+}
+
+void json_escape_into(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void record(int place, Ev kind, std::uint64_t a, std::uint64_t b) {
+  Recorder* r = g_recorder.load(std::memory_order_acquire);
+  if (r == nullptr) return;
+  if (place == kHere) place = apgas::detail::tl_place;
+  const int nrings = static_cast<int>(r->rings.size());
+  // Non-worker threads (and out-of-range places) share the external ring.
+  const int idx = (place >= 0 && place < nrings - 1) ? place : nrings - 1;
+  Event e;
+  e.t_ns = now_ns(*r);
+  e.kind = kind;
+  e.place = place;
+  e.a = a;
+  e.b = b;
+  r->rings[static_cast<std::size_t>(idx)]->push(e);
+}
+
+}  // namespace detail
+
+void init(int places, std::size_t capacity_per_place, bool enable) {
+  shutdown();
+  auto* r = new Recorder;
+  r->rings.reserve(static_cast<std::size_t>(places) + 1);
+  for (int p = 0; p < places + 1; ++p) {
+    r->rings.push_back(std::make_unique<Ring>(capacity_per_place));
+  }
+  r->epoch = std::chrono::steady_clock::now();
+  g_recorder.store(r, std::memory_order_release);
+  detail::g_enabled.store(enable, std::memory_order_release);
+}
+
+void shutdown() {
+  detail::g_enabled.store(false, std::memory_order_release);
+  Recorder* r = g_recorder.exchange(nullptr, std::memory_order_acq_rel);
+  delete r;
+}
+
+bool active() { return g_recorder.load(std::memory_order_acquire) != nullptr; }
+
+std::uint64_t total_events() {
+  Recorder* r = g_recorder.load(std::memory_order_acquire);
+  if (r == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (const auto& ring : r->rings) total += ring->written();
+  return total;
+}
+
+std::string chrome_json() {
+  Recorder* r = g_recorder.load(std::memory_order_acquire);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  if (r != nullptr) {
+    char buf[256];
+    for (const auto& ring : r->rings) {
+      for (const Event& e : ring->drain()) {
+        const char* ph = "i";
+        if (e.kind == Ev::kActivityBegin || e.kind == Ev::kTeamBegin) ph = "B";
+        if (e.kind == Ev::kActivityEnd || e.kind == Ev::kTeamEnd) ph = "E";
+        std::string nm;
+        // Message events get their class folded into the name so tracks are
+        // readable without expanding args.
+        if (e.kind == Ev::kMsgSend || e.kind == Ev::kMsgRecv) {
+          nm = std::string(name(e.kind)) + "." +
+               x10rt::msg_type_name(static_cast<x10rt::MsgType>(e.a));
+        } else {
+          nm = name(e.kind);
+        }
+        if (!first) out.push_back(',');
+        first = false;
+        out += "{\"name\":\"";
+        json_escape_into(out, nm.c_str());
+        // ts is microseconds (Chrome's unit); keep ns precision as decimals.
+        std::snprintf(buf, sizeof(buf),
+                      "\",\"ph\":\"%s\",\"ts\":%" PRIu64 ".%03u,\"pid\":0,"
+                      "\"tid\":%d",
+                      ph, e.t_ns / 1000,
+                      static_cast<unsigned>(e.t_ns % 1000), e.place);
+        out += buf;
+        if (ph[0] != 'E') {  // "E" events need no args; keeps pairs balanced
+          std::snprintf(buf, sizeof(buf),
+                        ",\"args\":{\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}", e.a,
+                        e.b);
+          out += buf;
+        }
+        if (ph[0] == 'i') out += ",\"s\":\"t\"";
+        out += "}";
+      }
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_json(const std::string& path) {
+  const std::string json = chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[apgas] cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) {
+    std::fprintf(stderr, "[apgas] short write of trace %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace apgas::trace

@@ -1,0 +1,141 @@
+// Flight recorder: per-place, lock-free ring-buffer event tracing.
+//
+// The paper argues its scaling story (§3.1, §5) through runtime-internal
+// signals — control-message volume, out-degree, steal traffic. The tracer
+// records those signals as timestamped events so a single run can be
+// inspected after the fact (chrome://tracing / Perfetto) instead of argued
+// about from aggregate counters alone.
+//
+// Design constraints:
+//   * Bounded memory: one fixed-capacity ring per place (plus one shared
+//     "external" ring for non-worker threads). When a ring wraps, the oldest
+//     events are overwritten — a flight recorder keeps the recent past.
+//   * Lock-free writers: a slot index is claimed with one relaxed fetch_add;
+//     slot fields are relaxed 64-bit atomics, so concurrent writers are
+//     data-race-free even when a lapped writer lands on a slot being read.
+//     (A full-lap collision can interleave fields of two events; exporters
+//     tolerate that. It cannot corrupt memory.)
+//   * Near-zero cost when disabled: every emit site is an inline check of
+//     one relaxed atomic bool; no arguments are evaluated beyond the enum.
+//
+// Lifecycle: Runtime::run initializes the recorder before workers start and
+// tears it down (optionally exporting Chrome trace JSON) after they join.
+// Tests may also drive init()/emit_at()/shutdown() standalone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apgas::trace {
+
+/// Event kinds recorded by the runtime. Schema (the meaning of args a/b) is
+/// documented per-kind in docs/observability.md and in name().
+enum class Ev : std::uint8_t {
+  kActivitySpawn,    // a = destination place, b = 1 if remote (asyncAt)
+  kActivityBegin,    // activity body starts on a worker
+  kActivityEnd,      // activity body finished (completion accounting follows)
+  kMsgSend,          // a = x10rt::MsgType, b = destination place
+  kMsgRecv,          // a = x10rt::MsgType, b = source place
+  kFinishOpen,       // a = finish seq, b = pragma
+  kFinishClose,      // a = finish seq, b = pragma
+  kFinishUpgrade,    // a = finish seq (kAuto local counter -> matrix)
+  kStealAttempt,     // a = victim place (GLB random steal)
+  kStealSuccess,     // a = victim place
+  kTeamBegin,        // a = collective op id (see docs), b = team id
+  kTeamEnd,          // a = collective op id, b = team id
+};
+inline constexpr int kNumEv = 12;
+
+/// Stable lowercase event name (used by the exporters and docs).
+const char* name(Ev e);
+
+/// One recorded event, as read back out of a ring.
+struct Event {
+  std::uint64_t t_ns = 0;  // monotonic ns since trace::init()
+  Ev kind = Ev::kActivitySpawn;
+  std::int32_t place = -1;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Fixed-capacity MPMC overwrite ring. Writers claim slots with fetch_add;
+/// readers (drain) run at quiescence. Exposed for unit testing.
+class Ring {
+ public:
+  Ring() = default;
+  explicit Ring(std::size_t capacity) { reset(capacity); }
+
+  void reset(std::size_t capacity);
+  void push(const Event& e);
+
+  /// Total events ever pushed (>= stored once the ring has wrapped).
+  [[nodiscard]] std::uint64_t written() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Snapshot of retained events, oldest first. Intended for quiescent
+  /// export; concurrent pushes cannot crash it but may tear an event.
+  [[nodiscard]] std::vector<Event> drain() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> t{0};
+    std::atomic<std::uint64_t> meta{0};  // kind << 32 | uint32(place)
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+  };
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> cursor_{0};
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void record(int place, Ev kind, std::uint64_t a, std::uint64_t b);
+inline constexpr int kHere = -2;  // resolve place from the worker TLS
+}  // namespace detail
+
+/// True when tracing is live. One relaxed load — this is the whole cost of a
+/// disabled event site.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Records an event attributed to an explicit place ring.
+inline void emit_at(int place, Ev kind, std::uint64_t a = 0,
+                    std::uint64_t b = 0) {
+  if (enabled()) detail::record(place, kind, a, b);
+}
+
+/// Records an event attributed to the calling worker's place (events from
+/// non-worker threads land in the shared external ring).
+inline void emit(Ev kind, std::uint64_t a = 0, std::uint64_t b = 0) {
+  if (enabled()) detail::record(detail::kHere, kind, a, b);
+}
+
+/// Allocates `places + 1` rings (the extra one catches non-worker threads)
+/// and arms/disarms event sites. Must not race emit(); Runtime calls it
+/// before workers start.
+void init(int places, std::size_t capacity_per_place, bool enable);
+
+/// Disarms event sites and frees the rings.
+void shutdown();
+
+/// True between init() and shutdown() (even if recording is disabled).
+bool active();
+
+/// Sum of written() across rings (0 when inactive or disabled).
+std::uint64_t total_events();
+
+/// Serializes every retained event as Chrome trace_event JSON (the format
+/// chrome://tracing, Perfetto, and speedscope load). pid 0, tid = place;
+/// activity begin/end become "B"/"E" duration events, the rest instants.
+std::string chrome_json();
+
+/// Writes chrome_json() to `path`. Returns false (and keeps quiet beyond a
+/// stderr note) on I/O failure — teardown must not throw.
+bool write_chrome_json(const std::string& path);
+
+}  // namespace apgas::trace

@@ -22,6 +22,20 @@ enum class MsgType : std::uint8_t {
 };
 inline constexpr int kNumMsgTypes = 7;
 
+/// Stable lowercase class name (metric keys, trace-event names).
+inline const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kTask: return "task";
+    case MsgType::kControl: return "control";
+    case MsgType::kCollective: return "collective";
+    case MsgType::kData: return "data";
+    case MsgType::kRdma: return "rdma";
+    case MsgType::kSteal: return "steal";
+    case MsgType::kOther: return "other";
+  }
+  return "?";
+}
+
 /// A message is a closure executed at the destination place by its scheduler,
 /// plus bookkeeping used by the transport layer (type, approximate payload
 /// size in wire bytes). Closures must capture by value only: once enqueued,

@@ -1,0 +1,259 @@
+// Chaos sweep (ISSUE satellite a): every finish protocol plus Team
+// collectives, each run under message-chaos (random delay + reordering in
+// the transport) with >= 8 distinct seeds, asserting
+//   1. completion — the job finishes and every activity ran exactly once;
+//   2. exact accounting — the MetricsRegistry counters that describe
+//      protocol *structure* (tasks shipped, completions, credits, snapshot
+//      conservation) are identical across seeds: chaos may reshuffle timing
+//      arbitrarily, but never the books.
+// Registered in CMake with TEST_PREFIX "chaos_sweep/" so
+// `ctest -R chaos_sweep` selects the whole sweep.
+#include "runtime/api.h"
+#include "runtime/metrics.h"
+#include "runtime/team.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace apgas;
+
+constexpr std::uint64_t kSeeds[] = {0x1ULL,
+                                    0x5eedULL,
+                                    0xdeadbeefULL,
+                                    0x9e3779b97f4a7c15ULL,
+                                    0x2545f4914f6cdd1dULL,
+                                    0xa076bc9f00ULL,
+                                    0x13371337ULL,
+                                    0xfeedfacecafeULL};
+constexpr int kNumSeeds = 8;
+static_assert(sizeof(kSeeds) / sizeof(kSeeds[0]) == kNumSeeds);
+
+Config chaos_cfg(int places, std::uint64_t seed, int places_per_node = 8) {
+  Config cfg;
+  cfg.places = places;
+  cfg.places_per_node = places_per_node;
+  cfg.chaos.delay_prob = 0.3;
+  cfg.chaos.seed = seed;
+  return cfg;
+}
+
+/// The protocol-structure counters that chaos must not change. Timing-driven
+/// counters are deliberately absent: idle transitions, dense relay batch
+/// counts, and the applied/stale *split* of snapshots (a snapshot racing the
+/// release lands stale on some schedules) — though their *sum* is pinned via
+/// "finish.snapshots.sent" and the per-run conservation law in sweep().
+const char* const kStructuralKeys[] = {
+    "finish.opened",         "finish.upgrades",
+    "runtime.tasks_shipped", "finish.completion_msgs",
+    "finish.credit_msgs",    "finish.snapshots.sent",
+    "finish.releases",       "sched.msgs.task",
+};
+
+std::map<std::string, std::uint64_t> structural(
+    const std::map<std::string, std::uint64_t>& snap) {
+  std::map<std::string, std::uint64_t> out;
+  for (const char* key : kStructuralKeys) {
+    auto it = snap.find(key);
+    out[key] = it == snap.end() ? 0 : it->second;
+  }
+  return out;
+}
+
+/// Runs `job` once per seed, asserting per-run invariants and cross-seed
+/// equality of the structural counters.
+template <typename Job>
+void sweep(int places, Job job, int places_per_node = 8) {
+  std::map<std::string, std::uint64_t> reference;
+  for (int s = 0; s < kNumSeeds; ++s) {
+    SCOPED_TRACE("seed index " + std::to_string(s));
+    Runtime::run(chaos_cfg(places, kSeeds[s], places_per_node), job);
+    const auto& m = last_run_metrics();
+    // Conservation: every snapshot sent is either applied or provably stale.
+    EXPECT_EQ(m.at("finish.snapshots.sent"),
+              m.at("finish.snapshots.applied") + m.at("finish.snapshots.stale"));
+    // Every shipped task crossed the transport and was dequeued exactly once.
+    EXPECT_EQ(m.at("runtime.tasks_shipped"), m.at("sched.msgs.task"));
+    EXPECT_EQ(m.at("runtime.tasks_shipped"), m.at("transport.msgs.task"));
+    const auto strut = structural(m);
+    if (s == 0) {
+      reference = strut;
+    } else {
+      EXPECT_EQ(strut, reference) << "accounting drifted with the chaos seed";
+    }
+  }
+}
+
+// --- the six finish protocols ----------------------------------------------
+
+TEST(ChaosSweepDefault, FanoutWithNestedChildren) {
+  static constexpr int kPlaces = 4;
+  sweep(kPlaces, [] {
+    std::atomic<int> ran{0};
+    finish(Pragma::kDefault, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [&ran] {
+          ran.fetch_add(1);
+          async([&ran] { ran.fetch_add(1); });
+        });
+      }
+    });
+    ASSERT_EQ(ran.load(), 2 * kPlaces);
+  });
+}
+
+TEST(ChaosSweepAuto, UpgradesThenCompletes) {
+  static constexpr int kPlaces = 4;
+  sweep(kPlaces, [] {
+    std::atomic<int> ran{0};
+    finish([&] {  // kAuto: starts local, upgrades on the first asyncAt
+      async([&ran] { ran.fetch_add(1); });
+      for (int p = 1; p < num_places(); ++p) {
+        asyncAt(p, [&ran] { ran.fetch_add(1); });
+      }
+    });
+    ASSERT_EQ(ran.load(), kPlaces);
+    ASSERT_EQ(Runtime::get().metrics().value("finish.upgrades"), 1u);
+  });
+}
+
+TEST(ChaosSweepAsync, SingleRemoteActivity) {
+  sweep(4, [] {
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 4; ++i) {
+      finish(Pragma::kAsync, [&] {
+        asyncAt(2, [&ran] { ran.fetch_add(1); });
+      });
+    }
+    ASSERT_EQ(ran.load(), 4);
+    // FINISH_ASYNC: one completion message per (remote) activity, exactly.
+    ASSERT_EQ(Runtime::get().metrics().value("finish.completion_msgs"), 4u);
+  });
+}
+
+TEST(ChaosSweepHere, CreditChainsAndBranches) {
+  sweep(4, [] {
+    std::atomic<int> hops{0};
+    finish(Pragma::kHere, [&] {
+      asyncAt(1, [&hops] {
+        hops.fetch_add(1);
+        asyncAt(2, [&hops] {
+          hops.fetch_add(1);
+          asyncAt(0, [&hops] { hops.fetch_add(1); });
+        });
+      });
+    });
+    finish(Pragma::kHere, [&] {  // branching chain: k children mint credits
+      asyncAt(1, [&hops] {
+        asyncAt(2, [&hops] { hops.fetch_add(1); });
+        asyncAt(3, [&hops] { hops.fetch_add(1); });
+      });
+    });
+    ASSERT_EQ(hops.load(), 5);
+  });
+}
+
+TEST(ChaosSweepLocal, PurelyLocalStaysSilent) {
+  sweep(2, [] {
+    std::atomic<int> n{0};
+    finish(Pragma::kLocal, [&] {
+      for (int i = 0; i < 32; ++i) async([&n] { n.fetch_add(1); });
+    });
+    ASSERT_EQ(n.load(), 32);
+    // FINISH_LOCAL never touches the control plane, chaos or not.
+    auto& m = Runtime::get().metrics();
+    ASSERT_EQ(m.value("finish.snapshots.sent"), 0u);
+    ASSERT_EQ(m.value("finish.completion_msgs"), 0u);
+    ASSERT_EQ(m.value("finish.releases"), 0u);
+  });
+}
+
+TEST(ChaosSweepSpmd, OneActivityPerPlace) {
+  static constexpr int kPlaces = 5;
+  sweep(kPlaces, [] {
+    std::atomic<int> n{0};
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 1; p < num_places(); ++p) {
+        asyncAt(p, [&n] {
+          finish(Pragma::kLocal, [&] {
+            for (int i = 0; i < 4; ++i) async([&n] { n.fetch_add(1); });
+          });
+        });
+      }
+    });
+    ASSERT_EQ(n.load(), 4 * (kPlaces - 1));
+    // One completion control message per remote place, exactly.
+    ASSERT_EQ(Runtime::get().metrics().value("finish.completion_msgs"),
+              static_cast<std::uint64_t>(kPlaces - 1));
+  });
+}
+
+TEST(ChaosSweepDense, RoutedFanout) {
+  static constexpr int kPlaces = 6;
+  // places_per_node = 2 so dense routing actually relays through masters.
+  sweep(
+      kPlaces,
+      [] {
+        std::atomic<int> ran{0};
+        finish(Pragma::kDense, [&] {
+          for (int p = 0; p < num_places(); ++p) {
+            asyncAt(p, [&ran] {
+              ran.fetch_add(1);
+              async([&ran] { ran.fetch_add(1); });
+            });
+          }
+        });
+        ASSERT_EQ(ran.load(), 2 * kPlaces);
+      },
+      /*places_per_node=*/2);
+}
+
+// --- team collectives under chaos ------------------------------------------
+
+TEST(ChaosSweepTeam, BarrierOrdersPhases) {
+  static constexpr int kPlaces = 4;
+  sweep(kPlaces, [] {
+    std::atomic<int> before{0};
+    std::atomic<bool> violated{false};
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [&] {
+          Team world = Team::world();
+          before.fetch_add(1);
+          world.barrier();
+          // After the barrier every place must have checked in.
+          if (before.load() != kPlaces) violated.store(true);
+          world.barrier();  // second barrier: reusable under chaos
+        });
+      }
+    });
+    ASSERT_FALSE(violated.load());
+  });
+}
+
+TEST(ChaosSweepTeam, AllreduceSumsEveryRank) {
+  static constexpr int kPlaces = 4;
+  sweep(kPlaces, [] {
+    std::atomic<int> correct{0};
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [&correct] {
+          Team world = Team::world();
+          double v = 1.0 + world.rank();
+          world.allreduce(&v, 1, ReduceOp::kSum);
+          // 1 + 2 + ... + n.
+          const double want = world.size() * (world.size() + 1) / 2.0;
+          if (v == want) correct.fetch_add(1);
+        });
+      }
+    });
+    ASSERT_EQ(correct.load(), kPlaces);
+  });
+}
+
+}  // namespace
