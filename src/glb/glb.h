@@ -62,10 +62,19 @@ class Glb {
     assert(rt.config().workers_per_place == 1 &&
            "GLB assumes one worker per place (as the paper's runs do)");
     const int places = rt.places();
+    auto& metrics = rt.metrics();
+    auto* c_attempts = &metrics.counter("glb.steal_attempts");
+    auto* c_hits = &metrics.counter("glb.steal_hits");
+    auto* c_requests = &metrics.counter("glb.lifeline_requests");
+    auto* c_resus = &metrics.counter("glb.resuscitations");
     states_ = std::make_shared<std::vector<std::unique_ptr<WorkerState>>>();
     states_->reserve(static_cast<std::size_t>(places));
     for (int p = 0; p < places; ++p) {
       auto ws = std::make_unique<WorkerState>();
+      ws->c_steal_attempts = c_attempts;
+      ws->c_steal_hits = c_hits;
+      ws->c_lifeline_requests = c_requests;
+      ws->c_resuscitations = c_resus;
       ws->lifelines = lifelines_of(p, places, cfg_.lifelines);
       ws->lifeline_requested.assign(ws->lifelines.size(), 0);
       ws->incoming.assign(static_cast<std::size_t>(places), 0);
@@ -104,6 +113,13 @@ class Glb {
     bool response_pending = false;
     bool response_had_loot = false;
     GlbPlaceStats stats;
+    // glb.* registry counters, resolved once at Glb::run (the registry's
+    // "resolve once, increment lock-free forever" contract): the hot steal
+    // paths must not take the registry mutex per event.
+    apgas::MetricsRegistry::Counter* c_steal_attempts = nullptr;
+    apgas::MetricsRegistry::Counter* c_steal_hits = nullptr;
+    apgas::MetricsRegistry::Counter* c_lifeline_requests = nullptr;
+    apgas::MetricsRegistry::Counter* c_resuscitations = nullptr;
   };
   using States = std::shared_ptr<std::vector<std::unique_ptr<WorkerState>>>;
 
@@ -146,10 +162,7 @@ class Glb {
       ws.incoming_queue.pop_back();
       ws.incoming[static_cast<std::size_t>(thief)] = 0;
       ++ws.stats.resuscitations;
-      apgas::Runtime::get()
-          .metrics()
-          .counter("glb.resuscitations")
-          .fetch_add(1, std::memory_order_relaxed);
+      ws.c_resuscitations->fetch_add(1, std::memory_order_relaxed);
       auto loot_ptr = std::make_shared<Bag>(std::move(loot));
       apgas::asyncAt(thief, [states, cfg, loot_ptr] {
         auto& ts = *(*states)[static_cast<std::size_t>(apgas::here())];
@@ -174,10 +187,7 @@ class Glb {
     std::uniform_int_distribution<int> pick(0, bound - 1);
     const int victim = ws.victims[static_cast<std::size_t>(pick(ws.rng))];
     ++ws.stats.steal_attempts;
-    apgas::Runtime::get()
-        .metrics()
-        .counter("glb.steal_attempts")
-        .fetch_add(1, std::memory_order_relaxed);
+    ws.c_steal_attempts->fetch_add(1, std::memory_order_relaxed);
     apgas::trace::emit(apgas::trace::Ev::kStealAttempt,
                        static_cast<std::uint64_t>(victim));
     ws.response_pending = true;
@@ -225,10 +235,7 @@ class Glb {
         [&ws] { return !ws.response_pending; });
     if (ws.response_had_loot) {
       ++ws.stats.steal_hits;
-      apgas::Runtime::get()
-          .metrics()
-          .counter("glb.steal_hits")
-          .fetch_add(1, std::memory_order_relaxed);
+      ws.c_steal_hits->fetch_add(1, std::memory_order_relaxed);
       apgas::trace::emit(apgas::trace::Ev::kStealSuccess,
                          static_cast<std::uint64_t>(victim));
     }
@@ -242,10 +249,7 @@ class Glb {
       if (ws.lifeline_requested[i]) continue;
       ws.lifeline_requested[i] = 1;
       ++ws.stats.lifeline_requests;
-      apgas::Runtime::get()
-          .metrics()
-          .counter("glb.lifeline_requests")
-          .fetch_add(1, std::memory_order_relaxed);
+      ws.c_lifeline_requests->fetch_add(1, std::memory_order_relaxed);
       apgas::immediate_at(
           ws.lifelines[i],
           [states, self] {

@@ -3,6 +3,8 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 namespace apgas {
@@ -71,10 +73,20 @@ struct Activity {
 
 /// Takes a child's share (half) of a credit-carrying activity's remaining
 /// weight. kCreditUnit supports spawn chains ~62 deep, far beyond any
-/// round-trip pattern FINISH_HERE is meant for.
+/// round-trip pattern FINISH_HERE is meant for. Exhaustion aborts in release
+/// builds too: a zero-weight child would be invisible to the termination
+/// accounting (credit == 0 means "not a credit activity"), so the finish
+/// could release while the child still runs — a silent wrong-answer failure
+/// must not replace a detectable one.
 inline std::uint64_t take_credit_share(Activity& parent) {
   const std::uint64_t share = parent.credit / 2;
-  assert(share > 0 && "FINISH_HERE credit exhausted (chain too deep)");
+  if (share == 0) {
+    std::fprintf(stderr,
+                 "[apgas] fatal: FINISH_HERE credit exhausted (spawn chain "
+                 "split more than ~62 times); use the default finish "
+                 "protocol for deep or branching spawn chains\n");
+    std::abort();
+  }
   parent.credit -= share;
   return share;
 }

@@ -130,8 +130,12 @@ class FinishHome {
 
   mutable std::mutex mu_;
   std::int64_t local_live_ = 0;
-  std::int64_t credits_ = 0;        // kAsync/kSpmd expected completions
-  std::uint64_t credit_out_ = 0;    // kHere outstanding credit weight
+  std::int64_t credits_ = 0;  // kAsync/kSpmd expected completions
+  // kHere outstanding credit weight. Every body-level spawn mints kCreditUnit
+  // (2^62), so a 64-bit accumulator would wrap to exactly zero after four
+  // simultaneous mints and falsely satisfy the `outstanding == 0` termination
+  // test; 128 bits absorb ~2^66 concurrent mints, far beyond any job.
+  unsigned __int128 credit_out_ = 0;
 
   // Default/dense matrix state (allocated lazily on upgrade / first use).
   struct Row {

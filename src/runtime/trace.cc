@@ -121,9 +121,14 @@ void record(int place, Ev kind, std::uint64_t a, std::uint64_t b) {
 void init(int places, std::size_t capacity_per_place, bool enable) {
   shutdown();
   auto* r = new Recorder;
+  // Disabled runs keep the recorder live (active() stays true, exporters
+  // emit empty traces) but must not pay the ring memory — "near-zero cost
+  // when disabled" covers the 2 MiB/place of slots, not just the emit sites.
+  // Ring clamps capacity 0 to one slot, so each ring costs ~32 bytes.
+  const std::size_t cap = enable ? capacity_per_place : 0;
   r->rings.reserve(static_cast<std::size_t>(places) + 1);
   for (int p = 0; p < places + 1; ++p) {
-    r->rings.push_back(std::make_unique<Ring>(capacity_per_place));
+    r->rings.push_back(std::make_unique<Ring>(cap));
   }
   r->epoch = std::chrono::steady_clock::now();
   g_recorder.store(r, std::memory_order_release);

@@ -116,8 +116,10 @@ inline void emit(Ev kind, std::uint64_t a = 0, std::uint64_t b = 0) {
 }
 
 /// Allocates `places + 1` rings (the extra one catches non-worker threads)
-/// and arms/disarms event sites. Must not race emit(); Runtime calls it
-/// before workers start.
+/// and arms/disarms event sites. When `enable` is false the rings are
+/// allocated at minimal (one-slot) capacity, so a disabled run pays neither
+/// CPU nor ring memory. Must not race emit(); Runtime calls it before
+/// workers start.
 void init(int places, std::size_t capacity_per_place, bool enable);
 
 /// Disarms event sites and frees the rings.

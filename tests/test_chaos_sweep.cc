@@ -158,6 +158,30 @@ TEST(ChaosSweepHere, CreditChainsAndBranches) {
   });
 }
 
+TEST(ChaosSweepHere, ManyBodyMintsDoNotWrapCredit) {
+  static constexpr int kPlaces = 4;
+  static constexpr int kSpawns = 8;
+  sweep(kPlaces, [] {
+    std::atomic<int> ran{0};
+    finish(Pragma::kHere, [&] {
+      // Each body-level spawn mints kCreditUnit = 2^62 of outstanding
+      // weight. A 64-bit accumulator wraps to exactly zero after the fourth
+      // concurrent mint and releases the finish while tasks still run;
+      // the 128-bit accumulator must hold all eight plus their splits.
+      for (int i = 0; i < kSpawns; ++i) {
+        const int p = 1 + i % (kPlaces - 1);
+        asyncAt(p, [&ran] {
+          asyncAt(0, [&ran] { ran.fetch_add(1); });  // round trip home
+        });
+      }
+    });
+    ASSERT_EQ(ran.load(), kSpawns);
+    // Every remote activity returned its weight in one control message.
+    ASSERT_EQ(Runtime::get().metrics().value("finish.credit_msgs"),
+              static_cast<std::uint64_t>(kSpawns));
+  });
+}
+
 TEST(ChaosSweepLocal, PurelyLocalStaysSilent) {
   sweep(2, [] {
     std::atomic<int> n{0};
