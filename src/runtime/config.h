@@ -31,6 +31,10 @@ struct Config {
   /// RDMA engine threads (0 = synchronous copies on the initiating thread).
   int dma_threads = 1;
 
+  /// Messages a worker drains from its place's transport inbox per lock
+  /// acquisition (the batched fast path; 1 reproduces per-message polling).
+  int poll_batch = 32;
+
   /// Bytes reserved per place for the congruent (registered, symmetric)
   /// allocator arena.
   std::size_t congruent_bytes = 16u << 20;

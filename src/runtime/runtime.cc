@@ -121,10 +121,14 @@ void Runtime::finalize_observability() {
   trace::shutdown();
 }
 
-void Runtime::worker_loop(int place) {
+void Runtime::worker_loop(int place, int wid) {
   detail::tl_place = place;
+  sched(place).bind_worker(wid);
   sched(place).run_until(
       [this] { return shutdown_.load(std::memory_order_acquire); });
+  // Unbinding also drains the worker's private message batch (chaos
+  // stragglers delivered past the root finish) so teardown stays exact.
+  sched(place).unbind_worker();
   detail::tl_place = -1;
 }
 
@@ -149,7 +153,7 @@ void Runtime::run(const Config& cfg, std::function<void()> main) {
                   cfg.workers_per_place);
   for (int p = 0; p < cfg.places; ++p) {
     for (int w = 0; w < cfg.workers_per_place; ++w) {
-      workers.emplace_back([&rt, p] { rt.worker_loop(p); });
+      workers.emplace_back([&rt, p, w] { rt.worker_loop(p, w); });
     }
   }
   for (auto& t : workers) t.join();

@@ -128,7 +128,7 @@ class Runtime {
  private:
   explicit Runtime(const Config& cfg);
   ~Runtime();
-  void worker_loop(int place);
+  void worker_loop(int place, int wid);
   void register_transport_gauges();
   /// After workers join: snapshot metrics for last_run_metrics(), write the
   /// configured trace/metrics files, tear down the flight recorder.

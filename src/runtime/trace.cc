@@ -24,6 +24,8 @@ const char* name(Ev e) {
     case Ev::kTeamEnd: return "team";
     case Ev::kMsgSend: return "send";
     case Ev::kMsgRecv: return "recv";
+    case Ev::kSchedSteal: return "sched.steal";
+    case Ev::kSchedOverflow: return "sched.overflow";
   }
   return "?";
 }

@@ -45,8 +45,10 @@ enum class Ev : std::uint8_t {
   kStealSuccess,     // a = victim place
   kTeamBegin,        // a = collective op id (see docs), b = team id
   kTeamEnd,          // a = collective op id, b = team id
+  kSchedSteal,       // intra-place deque steal; a = thief worker, b = victim
+  kSchedOverflow,    // overflow-inbox drain; a = draining worker (-1 = ext)
 };
-inline constexpr int kNumEv = 12;
+inline constexpr int kNumEv = 14;
 
 /// Stable lowercase event name (used by the exporters and docs).
 const char* name(Ev e);

@@ -1,0 +1,157 @@
+// Per-worker Chase–Lev work-stealing deque (ISSUE 2 tentpole; paper §3.1).
+//
+// Each worker owns one deque: the owner pushes and pops activities at the
+// bottom (LIFO, the Cilk/X10 work-first discipline), thieves steal from the
+// top (FIFO — oldest task first, which tends to hand thieves the largest
+// remaining subtree). The algorithm is the Chase–Lev dynamic circular deque
+// in the Lê/Pop/Cocchini/Zappa Nardelli C11 formulation, with one deliberate
+// deviation documented below: the two standalone seq_cst fences are folded
+// into the adjacent atomic operations. ThreadSanitizer does not model
+// standalone fences (it would report false races on the handoff), while
+// seq_cst loads/stores/RMWs are modeled precisely — and strengthening a
+// fence-protected access into a seq_cst access preserves every ordering the
+// fence provided (both orders embed into the single seq_cst total order S).
+// docs/scheduler.md carries the full memory-order argument.
+//
+// Elements are owned `Activity*` (the std::function payload is not an atomic
+// type). The buffer grows geometrically; retired buffers are kept alive until
+// the deque is destroyed so a thief holding a stale buffer pointer can still
+// read its claimed slot (the standard Chase–Lev reclamation strategy —
+// bounded, since capacities double).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/activity.h"
+
+namespace apgas {
+
+class WorkerDeque {
+ public:
+  explicit WorkerDeque(std::size_t initial_capacity = 256)
+      : buffer_(new Buffer(round_up(initial_capacity))) {}
+
+  WorkerDeque(const WorkerDeque&) = delete;
+  WorkerDeque& operator=(const WorkerDeque&) = delete;
+
+  ~WorkerDeque() {
+    Activity* a = nullptr;
+    while ((a = pop()) != nullptr) delete a;
+    delete buffer_.load(std::memory_order_relaxed);
+  }
+
+  /// Owner-only: pushes a (heap-owned) activity at the bottom.
+  void push(Activity* a) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, a);
+    // Publish the slot before the new bottom: a thief acquiring bottom_ and
+    // seeing index b then also sees the slot contents.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner-only: pops the most recently pushed activity; nullptr when empty.
+  Activity* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    // seq_cst store (in place of store-relaxed + seq_cst fence): the claim of
+    // slot b must be ordered before the read of top_ in S, or a concurrent
+    // thief and the owner could both take the last element.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    Activity* a = nullptr;
+    if (t <= b) {
+      a = buf->get(b);
+      if (t == b) {
+        // Single element: race the thieves for it via top_.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          a = nullptr;  // a thief got it first
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);  // deque was empty
+    }
+    return a;
+  }
+
+  /// Any thread: steals the oldest activity; nullptr when empty or when the
+  /// steal raced (callers treat both as "try elsewhere").
+  Activity* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    // seq_cst load pair (in place of the seq_cst fence between them): the
+    // read of bottom_ must not be satisfied before the read of top_, or a
+    // stale bottom could hide the element a racing pop() left behind.
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    // The buffer load is ordered after the bottom_ acquire; a stale buffer
+    // pointer is still safe to read (retired buffers stay allocated) and
+    // slot t is identical in every buffer generation that contains it.
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    Activity* a = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race for slot t
+    }
+    return a;
+  }
+
+  /// Racy size estimate (monitoring / idle heuristics only).
+  [[nodiscard]] std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty_estimate() const { return size_estimate() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<Activity*>[cap]) {}
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<Activity*>[]> slots;
+
+    void put(std::int64_t i, Activity* a) {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          a, std::memory_order_relaxed);
+    }
+    [[nodiscard]] Activity* get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t c = 8;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    retired_.emplace_back(old);
+    buffer_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  // Owner end and thief end of the live window [top_, bottom_).
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  // Owner-only: buffers replaced by grow(), freed with the deque.
+  std::vector<std::unique_ptr<Buffer>> retired_;
+};
+
+}  // namespace apgas

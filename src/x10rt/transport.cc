@@ -89,7 +89,11 @@ void Transport::send(int dst, Message m) {
     std::scoped_lock lock(box.mu);
     enqueue_locked(box, std::move(m));
   }
-  box.cv.notify_one();
+  // Sleeper-elided signal: the mutex release above is not a full barrier, so
+  // the fence orders the enqueue before the sleeper read (Dekker with the
+  // enter_idle RMW on the consumer side — docs/scheduler.md).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (box.sleepers.load(std::memory_order_relaxed) > 0) box.cv.notify_one();
 }
 
 std::optional<Message> Transport::poll(int place) {
@@ -108,6 +112,27 @@ std::optional<Message> Transport::poll(int place) {
   return m;
 }
 
+std::size_t Transport::poll_batch(int place, std::deque<Message>& out,
+                                  std::size_t max) {
+  auto& box = *inboxes_[static_cast<std::size_t>(place)];
+  std::scoped_lock lock(box.mu);
+  if (box.queue.empty() && !box.delayed.empty()) {
+    // Chaos must not withhold the last messages forever: drain one now.
+    // (Release check before the batch is taken — identical to poll().)
+    std::uniform_int_distribution<std::size_t> pick(0, box.delayed.size() - 1);
+    const std::size_t j = pick(box.rng);
+    box.queue.push_back(std::move(box.delayed[j]));
+    box.delayed.erase(box.delayed.begin() + static_cast<std::ptrdiff_t>(j));
+  }
+  std::size_t n = 0;
+  while (n < max && !box.queue.empty()) {
+    out.push_back(std::move(box.queue.front()));
+    box.queue.pop_front();
+    ++n;
+  }
+  return n;
+}
+
 bool Transport::wait_nonempty(int place, std::chrono::microseconds timeout) {
   auto& box = *inboxes_[static_cast<std::size_t>(place)];
   std::unique_lock lock(box.mu);
@@ -118,6 +143,24 @@ bool Transport::wait_nonempty(int place, std::chrono::microseconds timeout) {
   return !box.queue.empty() || !box.delayed.empty();
 }
 
+void Transport::enter_idle(int place) {
+  auto& box = *inboxes_[static_cast<std::size_t>(place)];
+  box.sleepers.fetch_add(1, std::memory_order_seq_cst);
+  // Order the sleeper announcement before the caller's subsequent work
+  // re-check (the other half of the Dekker handshake with producers).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void Transport::exit_idle(int place) {
+  auto& box = *inboxes_[static_cast<std::size_t>(place)];
+  box.sleepers.fetch_sub(1, std::memory_order_relaxed);
+}
+
+int Transport::sleepers(int place) const {
+  return inboxes_[static_cast<std::size_t>(place)]->sleepers.load(
+      std::memory_order_relaxed);
+}
+
 void Transport::notify(int place) {
   auto& box = *inboxes_[static_cast<std::size_t>(place)];
   {
@@ -125,6 +168,20 @@ void Transport::notify(int place) {
     box.notified = true;
   }
   box.cv.notify_all();
+}
+
+void Transport::notify_if_sleeping(int place) {
+  auto& box = *inboxes_[static_cast<std::size_t>(place)];
+  // The producer published its work (deque bottom_ release-store or overflow
+  // push) before calling; the fence orders that store before the sleeper
+  // read so producer and sleeper cannot both take their fast paths.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (box.sleepers.load(std::memory_order_relaxed) == 0) return;
+  {
+    std::scoped_lock lock(box.mu);
+    box.notified = true;
+  }
+  box.cv.notify_one();
 }
 
 void Transport::register_range(int place, const void* base, std::size_t len) {

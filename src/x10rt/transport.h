@@ -39,6 +39,10 @@
 
 namespace x10rt {
 
+/// Feature gate for callers (benches) whose sources must also compile
+/// against the pre-batching transport.
+#define APGAS_HAVE_POLL_BATCH 1
+
 /// Chaos injection: with probability `delay_prob` a message is parked in a
 /// side pool and released later in randomized order. Delivery remains
 /// guaranteed: pollers drain the pool once the main queue is empty.
@@ -93,13 +97,38 @@ class Transport {
   /// Non-blocking pop of the next deliverable message for `place`.
   std::optional<Message> poll(int place);
 
+  /// Drains up to `max` deliverable messages for `place` into `out` under a
+  /// single lock acquisition; returns the number appended. The chaos release
+  /// check (delayed pool feeds the queue once it runs dry) happens *before*
+  /// the batch is taken, exactly as in poll(), so reorder coverage under
+  /// chaos is unchanged — batching only amortizes the lock.
+  std::size_t poll_batch(int place, std::deque<Message>& out, std::size_t max);
+
   /// Blocks until the inbox for `place` is (probably) non-empty, it is woken
-  /// via notify(), or the timeout expires. Returns true if non-empty.
+  /// via notify()/notify_if_sleeping(), or the timeout expires. Returns true
+  /// if non-empty. Callers must bracket the call with enter_idle()/
+  /// exit_idle() for the sleeper-elision handshake to be sound.
   bool wait_nonempty(int place, std::chrono::microseconds timeout);
 
-  /// Wakes a scheduler blocked in wait_nonempty (used when local work is
-  /// produced by a sibling worker, and at shutdown).
+  /// Marks the calling worker as (about to be) parked on `place`'s inbox.
+  /// seq_cst so it forms a Dekker handshake with notify_if_sleeping(): the
+  /// caller must re-check for work *after* enter_idle and only then call
+  /// wait_nonempty (see docs/scheduler.md).
+  void enter_idle(int place);
+  void exit_idle(int place);
+
+  /// Workers currently inside an enter_idle/exit_idle bracket.
+  [[nodiscard]] int sleepers(int place) const;
+
+  /// Wakes a scheduler blocked in wait_nonempty (used at shutdown). Always
+  /// signals, regardless of the sleeper count.
   void notify(int place);
+
+  /// Fast-path wakeup: signals only when a worker is actually parked (one
+  /// seq_cst fence + one relaxed load when nobody is — no mutex, no CV).
+  /// Producers of scheduler-local work (deque pushes, overflow pushes) call
+  /// this; the common self-push case costs no syscall at all.
+  void notify_if_sleeping(int place);
 
   // --- Registered memory + one-sided operations (paper §3.3) --------------
 
@@ -162,6 +191,10 @@ class Transport {
     std::deque<Message> delayed;  // chaos pool
     std::mt19937_64 rng;
     bool notified = false;
+    // Workers parked (or about to park) in wait_nonempty. Written with
+    // seq_cst RMWs, read behind a seq_cst fence — the Dekker handshake that
+    // lets producers skip the mutex+CV signal when nobody is sleeping.
+    std::atomic<int> sleepers{0};
   };
 
   struct DmaOp {

@@ -1,9 +1,14 @@
 // Multiple workers per place (X10_NTHREADS > 1). The paper's runs use one
 // worker per place, but the runtime supports more; these tests exercise the
-// locked paths (finish state, remote blocks, monitors, team mailboxes) under
-// real intra-place parallelism.
+// work-stealing deques and the remaining locked paths (finish state, remote
+// blocks, monitors, team mailboxes) under real intra-place parallelism,
+// including a steal-storm stress test and a chaos sweep of all six finish
+// protocols at four workers per place. The whole binary carries the `tsan`
+// ctest label (see CMakePresets.json) so the lock-free deque is
+// TSan-checked in tier-1.
 #include "runtime/api.h"
 #include "runtime/dist_rail.h"
+#include "runtime/metrics.h"
 #include "runtime/monitor.h"
 #include "runtime/team.h"
 
@@ -96,6 +101,160 @@ TEST_P(WorkerCounts, RemoteOpsFromParallelWorkers) {
     });
     EXPECT_EQ(*space.at_place(1, cell), 400u);
   });
+}
+
+TEST(StealStorm, SingleProducerManyThieves) {
+  // One producer activity spawns 100k tasks into its own deque; the other
+  // three workers can only make progress by stealing from its top. Asserts
+  // every task ran exactly once and that stealing actually happened (the
+  // counter is also how the bench's acceptance criterion is audited).
+  constexpr int kTasks = 100000;
+  std::atomic<long> ran{0};
+  Runtime::run(cfg_w(1, 4), [&] {
+    finish([&] {
+      async([&ran] {
+        for (int i = 0; i < kTasks; ++i) {
+          async([&ran] {
+            // A little private work so the producer cannot outrun thieves.
+            volatile int sink = 0;
+            for (int k = 0; k < 16; ++k) sink = sink + k;
+            ran.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+      });
+    });
+    EXPECT_EQ(ran.load(), kTasks);
+  });
+  const auto& m = last_run_metrics();
+  EXPECT_EQ(ran.load(), kTasks);
+  ASSERT_NE(m.find("sched.p0.steals"), m.end());
+  EXPECT_GT(m.at("sched.p0.steals"), 0u);
+}
+
+TEST(StealStorm, NestedSpawnsAcrossWorkers) {
+  // Recursive fan-out: stolen tasks spawn into the thief's own deque, so
+  // every worker is simultaneously producer and victim.
+  std::atomic<long> ran{0};
+  Runtime::run(cfg_w(1, 4), [&] {
+    finish([&] {
+      for (int i = 0; i < 64; ++i) {
+        async([&ran] {
+          for (int j = 0; j < 64; ++j) {
+            async([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+          }
+          ran.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  });
+  EXPECT_EQ(ran.load(), 64 * 64 + 64);
+}
+
+// --- chaos sweep at four workers per place ----------------------------------
+// The single-worker sweep lives in test_chaos_sweep.cc; this one re-runs a
+// compact workload for each of the six finish protocols with message chaos
+// *and* intra-place work stealing active at once.
+
+Config chaos4_cfg(std::uint64_t seed, int places = 4) {
+  Config cfg;
+  cfg.places = places;
+  cfg.workers_per_place = 4;
+  cfg.places_per_node = 2;  // dense routing really relays
+  cfg.chaos.delay_prob = 0.3;
+  cfg.chaos.seed = seed;
+  return cfg;
+}
+
+constexpr std::uint64_t kChaosSeeds[] = {0x1ULL, 0xdeadbeefULL,
+                                         0x9e3779b97f4a7c15ULL};
+
+class ChaosFourWorkers : public ::testing::TestWithParam<Pragma> {};
+INSTANTIATE_TEST_SUITE_P(Protocols, ChaosFourWorkers,
+                         ::testing::Values(Pragma::kLocal, Pragma::kAsync,
+                                           Pragma::kHere, Pragma::kSpmd,
+                                           Pragma::kDense, Pragma::kDefault),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Pragma::kLocal: return "Local";
+                             case Pragma::kAsync: return "Async";
+                             case Pragma::kHere: return "Here";
+                             case Pragma::kSpmd: return "Spmd";
+                             case Pragma::kDense: return "Dense";
+                             case Pragma::kDefault: return "Default";
+                             default: return "Auto";
+                           }
+                         });
+
+TEST_P(ChaosFourWorkers, ProtocolSurvivesChaosAndStealing) {
+  const Pragma pragma = GetParam();
+  for (std::uint64_t seed : kChaosSeeds) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::atomic<int> ran{0};
+    int expected = 0;
+    Runtime::run(chaos4_cfg(seed), [&] {
+      switch (pragma) {
+        case Pragma::kLocal:
+          finish(Pragma::kLocal, [&] {
+            for (int i = 0; i < 64; ++i) async([&ran] { ran.fetch_add(1); });
+          });
+          expected = 64;
+          break;
+        case Pragma::kAsync:
+          for (int i = 0; i < 8; ++i) {
+            finish(Pragma::kAsync, [&] {
+              asyncAt(1 + i % 3, [&ran] { ran.fetch_add(1); });
+            });
+          }
+          expected = 8;
+          break;
+        case Pragma::kHere:
+          finish(Pragma::kHere, [&] {
+            asyncAt(1, [&ran] {
+              ran.fetch_add(1);
+              asyncAt(2, [&ran] {
+                ran.fetch_add(1);
+                asyncAt(0, [&ran] { ran.fetch_add(1); });
+              });
+            });
+          });
+          expected = 3;
+          break;
+        case Pragma::kSpmd:
+          finish(Pragma::kSpmd, [&] {
+            for (int p = 1; p < num_places(); ++p) {
+              asyncAt(p, [&ran] {
+                finish(Pragma::kLocal, [&] {
+                  for (int i = 0; i < 8; ++i) {
+                    async([&ran] { ran.fetch_add(1); });
+                  }
+                });
+              });
+            }
+          });
+          expected = 8 * 3;
+          break;
+        case Pragma::kDense:
+        case Pragma::kDefault:
+        default:
+          finish(pragma, [&] {
+            for (int p = 0; p < num_places(); ++p) {
+              asyncAt(p, [&ran] {
+                ran.fetch_add(1);
+                async([&ran] { ran.fetch_add(1); });
+              });
+            }
+          });
+          expected = 2 * 4;
+          break;
+      }
+      ASSERT_EQ(ran.load(), expected);
+    });
+    // Conservation at teardown must hold under chaos + stealing.
+    const auto& m = last_run_metrics();
+    EXPECT_EQ(m.at("finish.snapshots.sent"),
+              m.at("finish.snapshots.applied") + m.at("finish.snapshots.stale"));
+    EXPECT_EQ(m.at("runtime.tasks_shipped"), m.at("sched.msgs.task"));
+  }
 }
 
 TEST_P(WorkerCounts, BlockingAtFromSiblingWorkers) {

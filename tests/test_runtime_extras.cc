@@ -135,6 +135,10 @@ TEST(Monitor, AtomicCountsUnderContention) {
 }
 
 TEST(Monitor, WhenBlocksUntilCondition) {
+  // The stage advances monotonically within one producer activity: the
+  // waiter must observe stage == 3 no matter how the scheduler orders the
+  // two activities (the work-stealing deque runs local spawns LIFO — X10
+  // guarantees no ordering between sibling asyncs).
   Runtime::run(cfg_n(1), [&] {
     int stage = 0;
     bool consumed = false;
@@ -142,8 +146,10 @@ TEST(Monitor, WhenBlocksUntilCondition) {
       async([&] {
         when([&] { return stage == 3; }, [&] { consumed = true; });
       });
-      async([&] { atomic_do([&] { stage = 1; }); });
-      async([&] { atomic_do([&] { stage = 3; }); });
+      async([&] {
+        atomic_do([&] { stage = 1; });
+        atomic_do([&] { stage = 3; });
+      });
     });
     EXPECT_TRUE(consumed);
   });
