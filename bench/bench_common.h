@@ -27,6 +27,9 @@ namespace bench {
 ///   APGAS_TRACE_CAP=<n>    per-place ring capacity in events (default 2^16)
 ///   APGAS_METRICS=<path>   write metrics at teardown (.json => JSON,
 ///                          anything else => key=value text)
+/// plus the APGAS_* perf knobs (poll_batch, coalesce_bytes/msgs, places,
+/// workers_per_place) via Config::apply_env — note benches that sweep
+/// `cfg.places` themselves overwrite an APGAS_PLACES override afterwards.
 /// Returns the config so call sites can wrap construction inline.
 inline apgas::Config& observe(apgas::Config& cfg) {
   if (const char* p = std::getenv("APGAS_TRACE")) {
@@ -39,6 +42,7 @@ inline apgas::Config& observe(apgas::Config& cfg) {
   if (const char* p = std::getenv("APGAS_METRICS")) {
     cfg.metrics_path = p;
   }
+  apgas::Config::apply_env(cfg);
   return cfg;
 }
 

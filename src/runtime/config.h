@@ -2,8 +2,11 @@
 // of places and the place→node mapping are fixed at launch, MPI-style).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
+#include <type_traits>
 
 #include "x10rt/transport.h"
 
@@ -35,6 +38,14 @@ struct Config {
   /// acquisition (the batched fast path; 1 reproduces per-message polling).
   int poll_batch = 32;
 
+  /// Sender-side coalescing: envelope flush threshold in wire bytes
+  /// (docs/transport.md). 0 disables the aggregation layer — the default,
+  /// so every send_am ships its own message exactly as before ISSUE 3.
+  std::size_t coalesce_bytes = 0;
+
+  /// Max records parked per coalescing envelope before a forced flush.
+  int coalesce_msgs = 64;
+
   /// Bytes reserved per place for the congruent (registered, symmetric)
   /// allocator arena.
   std::size_t congruent_bytes = 16u << 20;
@@ -60,6 +71,40 @@ struct Config {
   /// If non-empty, Runtime::run dumps the MetricsRegistry here at teardown
   /// (".json" suffix selects JSON, anything else flat key=value lines).
   std::string metrics_path;
+
+  /// Applies `APGAS_*` environment overrides for the perf knobs on top of
+  /// whatever `cfg` already holds, so benches and CI sweep configurations
+  /// without recompiling:
+  ///
+  ///   APGAS_PLACES             places
+  ///   APGAS_WORKERS_PER_PLACE  workers_per_place
+  ///   APGAS_POLL_BATCH         poll_batch
+  ///   APGAS_COALESCE_BYTES     coalesce_bytes (0 disables coalescing)
+  ///   APGAS_COALESCE_MSGS      coalesce_msgs
+  ///
+  /// Unset or non-numeric variables leave the knob untouched.
+  static void apply_env(Config& cfg) {
+    auto read = [](const char* name, auto& knob) {
+      const char* v = std::getenv(name);
+      if (v == nullptr || *v == '\0') return;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 0) return;
+      knob = static_cast<std::remove_reference_t<decltype(knob)>>(parsed);
+    };
+    read("APGAS_PLACES", cfg.places);
+    read("APGAS_WORKERS_PER_PLACE", cfg.workers_per_place);
+    read("APGAS_POLL_BATCH", cfg.poll_batch);
+    read("APGAS_COALESCE_BYTES", cfg.coalesce_bytes);
+    read("APGAS_COALESCE_MSGS", cfg.coalesce_msgs);
+  }
+
+  /// Defaults + apply_env().
+  [[nodiscard]] static Config from_env() {
+    Config cfg;
+    apply_env(cfg);
+    return cfg;
+  }
 };
 
 }  // namespace apgas

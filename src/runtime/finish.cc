@@ -264,7 +264,7 @@ void FinishHome::wait() {
         continue;
       // Block release is bookkeeping, not termination detection: classify
       // it as kOther so control-traffic metrics measure the protocol itself.
-      x10rt::ByteBuffer frame;
+      x10rt::ByteBuffer frame = rt_.transport().acquire_buffer();
       frame.put(key_.home);
       frame.put(key_.seq);
       send_ctrl_am(rt_, key_.home, q, rt_.am_release(), std::move(frame),
@@ -370,7 +370,7 @@ void send_snapshot_home(Runtime& rt, const Snapshot& snap, Pragma mode) {
   // Counted at the origin, whether it travels directly or via dense relays;
   // the home side counts applied + stale, so the two must balance.
   rt.fin_counters().snapshots_sent->fetch_add(1, std::memory_order_relaxed);
-  x10rt::ByteBuffer buf;
+  x10rt::ByteBuffer buf = rt.transport().acquire_buffer();
   encode_snapshot(buf, snap);
   const FinishKey key = snap.key;
   if (mode == Pragma::kDense && rt.config().places_per_node > 1) {
@@ -480,7 +480,7 @@ void fin_activity_completed(Runtime& rt, const Activity& act) {
     }
     case Pragma::kAsync:
     case Pragma::kSpmd: {
-      x10rt::ByteBuffer frame;
+      x10rt::ByteBuffer frame = rt.transport().acquire_buffer();
       frame.put(ctx.key.seq);
       frame.put<std::uint64_t>(1);
       send_ctrl_am(rt, here(), ctx.key.home, rt.am_completions(),
@@ -492,7 +492,7 @@ void fin_activity_completed(Runtime& rt, const Activity& act) {
       // Return the remaining weight (what the children did not take). The
       // message is a pure decrement of the home's outstanding weight, so no
       // reordering of these can make the finish release early.
-      x10rt::ByteBuffer frame;
+      x10rt::ByteBuffer frame = rt.transport().acquire_buffer();
       frame.put(ctx.key.seq);
       frame.put(act.credit);
       send_ctrl_am(rt, here(), ctx.key.home, rt.am_credit(),
@@ -598,7 +598,7 @@ void dense_relay_enqueue(Runtime& rt, int at_place, int final_home,
         r.flusher_scheduled = false;
       }
       for (auto& [next_hop, frames] : pending) {
-        x10rt::ByteBuffer batch;
+        x10rt::ByteBuffer batch = rtp->transport().acquire_buffer();
         batch.put(static_cast<std::uint32_t>(frames.size()));
         for (const auto& [final_home2, frame2] : frames) {
           batch.put(final_home2);

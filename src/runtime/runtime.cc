@@ -39,6 +39,17 @@ Runtime::Runtime(const Config& cfg) : cfg_(cfg) {
   tc.chaos = cfg_.chaos;
   tc.count_pairs = cfg_.count_pairs;
   tc.dma_threads = cfg_.dma_threads;
+  tc.coalesce_bytes = cfg_.coalesce_bytes;
+  tc.coalesce_msgs = cfg_.coalesce_msgs;
+  // The transport stays runtime-agnostic; it reports envelope flushes
+  // through this hook and the runtime forwards them to the flight recorder.
+  tc.flush_hook = [](int src, int dst, std::uint32_t records,
+                     x10rt::FlushReason reason) {
+    trace::emit_at(src, trace::Ev::kCoalesceFlush,
+                   static_cast<std::uint64_t>(records),
+                   (static_cast<std::uint64_t>(reason) << 32) |
+                       static_cast<std::uint32_t>(dst));
+  };
   transport_ = std::make_unique<x10rt::Transport>(tc);
   register_transport_gauges();
 
@@ -47,6 +58,13 @@ Runtime::Runtime(const Config& cfg) : cfg_(cfg) {
     auto ps = std::make_unique<PlaceState>();
     ps->sched = std::make_unique<Scheduler>(*this, p);
     ps->sched->add_idle_hook([this, p] { fin_flush_all_dirty(*this, p); });
+    // Registered after the finish flusher on purpose: snapshots the finish
+    // hook just encoded land in this same idle transition's envelopes, so a
+    // place going idle never parks termination-detection traffic (the
+    // no-deadlock half of the coalescing contract — docs/transport.md).
+    ps->sched->add_idle_hook([this, p] {
+      transport_->flush_coalesced(p, x10rt::FlushReason::kIdle);
+    });
     pstates_.push_back(std::move(ps));
   }
 
@@ -97,6 +115,31 @@ void Runtime::register_transport_gauges() {
     });
   }
   metrics_->add_gauge("trace.events", [] { return trace::total_events(); });
+
+  // Sender-side coalescing layer + wire-buffer pool (docs/transport.md).
+  metrics_->add_gauge("transport.coalesce.envelopes",
+                      [tr] { return tr->coalesce_envelopes(); });
+  metrics_->add_gauge("transport.coalesce.records",
+                      [tr] { return tr->coalesce_records(); });
+  metrics_->add_gauge("transport.coalesce.wire_bytes",
+                      [tr] { return tr->coalesce_wire_bytes(); });
+  metrics_->add_gauge("transport.coalesce.bypass",
+                      [tr] { return tr->coalesce_bypass(); });
+  for (int r = 0; r < x10rt::kNumFlushReasons; ++r) {
+    const auto reason = static_cast<x10rt::FlushReason>(r);
+    metrics_->add_gauge(
+        std::string("transport.coalesce.flush.") +
+            x10rt::flush_reason_name(reason),
+        [tr, reason] { return tr->coalesce_flushes(reason); });
+  }
+  metrics_->add_gauge("transport.pool.hits",
+                      [tr] { return tr->pool().hits(); });
+  metrics_->add_gauge("transport.pool.misses",
+                      [tr] { return tr->pool().misses(); });
+  metrics_->add_gauge("transport.pool.recycled",
+                      [tr] { return tr->pool().recycled(); });
+  metrics_->add_gauge("transport.pool.dropped",
+                      [tr] { return tr->pool().dropped(); });
 }
 
 void Runtime::finalize_observability() {
@@ -111,6 +154,11 @@ void Runtime::finalize_observability() {
     progressed = false;
     for (int p = 0; p < cfg_.places; ++p) {
       detail::tl_place = p;
+      // A handler run by step() may have parked small AMs in a coalescing
+      // envelope; ship them so the drain reaches a true fixpoint.
+      if (transport_->flush_coalesced(p, x10rt::FlushReason::kQuiesce) > 0) {
+        progressed = true;
+      }
       while (sched(p).step()) progressed = true;
     }
   }

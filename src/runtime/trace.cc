@@ -26,6 +26,7 @@ const char* name(Ev e) {
     case Ev::kMsgRecv: return "recv";
     case Ev::kSchedSteal: return "sched.steal";
     case Ev::kSchedOverflow: return "sched.overflow";
+    case Ev::kCoalesceFlush: return "coalesce.flush";
   }
   return "?";
 }

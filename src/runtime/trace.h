@@ -47,8 +47,9 @@ enum class Ev : std::uint8_t {
   kTeamEnd,          // a = collective op id, b = team id
   kSchedSteal,       // intra-place deque steal; a = thief worker, b = victim
   kSchedOverflow,    // overflow-inbox drain; a = draining worker (-1 = ext)
+  kCoalesceFlush,    // envelope shipped; a = records, b = reason<<32 | dst
 };
-inline constexpr int kNumEv = 14;
+inline constexpr int kNumEv = 15;
 
 /// Stable lowercase event name (used by the exporters and docs).
 const char* name(Ev e);

@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace x10rt {
@@ -53,6 +54,18 @@ class ByteBuffer {
     data_.insert(data_.end(), p, p + n);
   }
 
+  /// Overwrites sizeof(T) already-written bytes at `pos` (length-prefix
+  /// patching: envelope writers reserve the record count up front and fill
+  /// it in at flush time).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void overwrite(std::size_t pos, const T& value) {
+    if (pos > data_.size() || sizeof(T) > data_.size() - pos) {
+      throw std::out_of_range("ByteBuffer overwrite past end");
+    }
+    std::memcpy(data_.data() + pos, &value, sizeof(T));
+  }
+
   /// Reads back a trivially copyable value; throws on underflow.
   template <typename T>
     requires std::is_trivially_copyable_v<T>
@@ -76,6 +89,10 @@ class ByteBuffer {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> get_vector() {
     const auto n = get<std::uint32_t>();
+    // Validate the length prefix *before* sizing the vector: a truncated or
+    // corrupt message must fail with the clean out_of_range below, not a
+    // multi-gigabyte allocation driven by attacker-controlled bytes.
+    check_remaining(static_cast<std::size_t>(n) * sizeof(T));
     std::vector<T> v(n);
     get_raw(v.data(), static_cast<std::size_t>(n) * sizeof(T));
     return v;
@@ -92,9 +109,27 @@ class ByteBuffer {
   [[nodiscard]] std::span<const std::byte> bytes() const { return data_; }
   void rewind() { cursor_ = 0; }
 
+  /// Read-cursor position (envelope readers bracket each record with
+  /// position()/seek() so a handler cannot overread into its successor).
+  [[nodiscard]] std::size_t position() const { return cursor_; }
+  void seek(std::size_t pos) {
+    if (pos > data_.size()) throw std::out_of_range("ByteBuffer seek past end");
+    cursor_ = pos;
+  }
+
+  /// Surrenders the underlying storage (for freelist recycling); the buffer
+  /// is empty afterwards.
+  [[nodiscard]] std::vector<std::byte> take_data() {
+    cursor_ = 0;
+    return std::exchange(data_, {});
+  }
+
  private:
   void check_remaining(std::size_t n) const {
-    if (cursor_ + n > data_.size()) {
+    // Phrased as a subtraction against the guaranteed cursor_ <= size()
+    // invariant: `cursor_ + n` would wrap for adversarial n near SIZE_MAX
+    // and let the read through.
+    if (n > data_.size() - cursor_) {
       throw std::out_of_range("ByteBuffer underflow");
     }
   }

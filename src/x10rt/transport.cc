@@ -1,7 +1,9 @@
 #include "x10rt/transport.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <tuple>
 #include <utility>
 
 namespace x10rt {
@@ -10,10 +12,14 @@ Transport::Transport(TransportConfig cfg)
     : cfg_(cfg), ranges_(static_cast<std::size_t>(cfg.places)) {
   assert(cfg_.places >= 1);
   inboxes_.reserve(static_cast<std::size_t>(cfg_.places));
+  coalesce_.reserve(static_cast<std::size_t>(cfg_.places));
   for (int p = 0; p < cfg_.places; ++p) {
     auto box = std::make_unique<Inbox>();
     box->rng.seed(cfg_.chaos.seed + static_cast<std::uint64_t>(p) * 0x2545F4914F6CDD1DULL);
     inboxes_.push_back(std::move(box));
+    auto shard = std::make_unique<CoalesceShard>();
+    shard->per_dst.resize(static_cast<std::size_t>(cfg_.places));
+    coalesce_.push_back(std::move(shard));
   }
   if (cfg_.count_pairs) {
     pair_counts_ = std::vector<std::atomic<std::uint64_t>>(
@@ -35,18 +41,23 @@ Transport::~Transport() {
   for (auto& t : dma_workers_) t.join();
 }
 
-void Transport::record(const Message& m, int dst) {
-  const auto idx = static_cast<std::size_t>(m.type);
+void Transport::count_logical(int src, int dst, MsgType type,
+                              std::size_t wire_bytes) {
+  const auto idx = static_cast<std::size_t>(type);
   counts_[idx].fetch_add(1, std::memory_order_relaxed);
-  bytes_[idx].fetch_add(m.bytes, std::memory_order_relaxed);
-  if (cfg_.count_pairs && m.src >= 0) {
-    pair_counts_[static_cast<std::size_t>(m.src) * cfg_.places + dst]
+  bytes_[idx].fetch_add(wire_bytes, std::memory_order_relaxed);
+  if (cfg_.count_pairs && src >= 0) {
+    pair_counts_[static_cast<std::size_t>(src) * cfg_.places + dst]
         .fetch_add(1, std::memory_order_relaxed);
-    if (m.type == MsgType::kControl) {
-      ctrl_pair_counts_[static_cast<std::size_t>(m.src) * cfg_.places + dst]
+    if (type == MsgType::kControl) {
+      ctrl_pair_counts_[static_cast<std::size_t>(src) * cfg_.places + dst]
           .fetch_add(1, std::memory_order_relaxed);
     }
   }
+}
+
+void Transport::record(const Message& m, int dst) {
+  count_logical(m.src, dst, m.type, m.bytes);
 }
 
 void Transport::enqueue_locked(Inbox& box, Message&& m) {
@@ -82,8 +93,12 @@ void Transport::maybe_release_delayed_locked(Inbox& box) {
 }
 
 void Transport::send(int dst, Message m) {
-  assert(dst >= 0 && dst < cfg_.places);
   record(m, dst);
+  send_unrecorded(dst, std::move(m));
+}
+
+void Transport::send_unrecorded(int dst, Message m) {
+  assert(dst >= 0 && dst < cfg_.places);
   auto& box = *inboxes_[static_cast<std::size_t>(dst)];
   {
     std::scoped_lock lock(box.mu);
@@ -285,16 +300,152 @@ void Transport::send_am(int src, int dst, int handler, ByteBuffer payload,
   assert(handler >= 0 &&
          handler < static_cast<int>(am_handlers_.size()) &&
          "send_am with unregistered handler");
+  const std::size_t wire = payload.size() + sizeof(int);
+  if (coalescing_enabled() && src >= 0 && src < cfg_.places &&
+      envelope::kRecordHeaderBytes + payload.size() < cfg_.coalesce_bytes) {
+    // Coalesced path. The logical message is accounted *now* (per record,
+    // per class) so protocol metrics don't depend on when the wire flushes.
+    count_logical(src, dst, type, wire);
+    ByteBuffer ready;
+    std::uint32_t ready_records = 0;
+    FlushReason reason = FlushReason::kSize;
+    bool ship = false;
+    std::vector<std::vector<std::byte>> recycle;
+    {
+      auto& shard = *coalesce_[static_cast<std::size_t>(src)];
+      std::scoped_lock lock(shard.mu);
+      auto& w = shard.per_dst[static_cast<std::size_t>(dst)];
+      if (!w.is_open()) {
+        // Envelope storage comes from the shard's spare stash when it has
+        // one (no pool lock), from the pool otherwise.
+        if (!shard.spare.empty()) {
+          std::vector<std::byte> s = std::move(shard.spare.back());
+          shard.spare.pop_back();
+          s.clear();
+          w.open(std::move(s));
+        } else {
+          w.open(pool_.acquire());
+        }
+        shard.active.push_back(dst);
+      }
+      w.append(handler, payload);
+      // The payload was copied into the envelope; park its storage in the
+      // shard (lock already held) and recycle per envelope, not per record.
+      shard.spare.push_back(payload.take_data());
+      if (w.bytes() >= cfg_.coalesce_bytes) {
+        ship = true;
+        reason = FlushReason::kSize;
+      } else if (w.records() >=
+                 static_cast<std::uint32_t>(cfg_.coalesce_msgs)) {
+        ship = true;
+        reason = FlushReason::kCount;
+      }
+      constexpr std::size_t kSpareCap = 128;
+      if (ship || shard.spare.size() >= kSpareCap) {
+        recycle.swap(shard.spare);
+      }
+      if (ship) {
+        ready_records = w.records();
+        ready = w.close();
+        shard.active.erase(
+            std::find(shard.active.begin(), shard.active.end(), dst));
+      }
+    }
+    if (!recycle.empty()) pool_.release_batch(std::move(recycle));
+    if (ship) ship_envelope(src, dst, std::move(ready), ready_records, reason);
+    return;
+  }
+  if (coalescing_enabled()) {
+    coalesce_bypass_.fetch_add(1, std::memory_order_relaxed);
+  }
   Message m;
   m.src = src;
   m.type = type;
-  m.bytes = payload.size() + sizeof(int);
+  m.bytes = wire;
   const AmHandler* fn = &am_handlers_[static_cast<std::size_t>(handler)];
-  m.run = [fn, payload = std::move(payload)]() mutable {
+  m.run = [this, fn, payload = std::move(payload)]() mutable {
     payload.rewind();
     (*fn)(payload);
+    pool_.release(payload.take_data());
   };
   send(dst, std::move(m));
+}
+
+void Transport::ship_envelope(int src, int dst, ByteBuffer env,
+                              std::uint32_t records, FlushReason reason) {
+  coalesce_envelopes_.fetch_add(1, std::memory_order_relaxed);
+  coalesce_records_.fetch_add(records, std::memory_order_relaxed);
+  coalesce_wire_bytes_.fetch_add(env.size(), std::memory_order_relaxed);
+  coalesce_flush_counts_[static_cast<std::size_t>(reason)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (cfg_.flush_hook) cfg_.flush_hook(src, dst, records, reason);
+  Message m;
+  m.src = src;
+  m.type = MsgType::kControl;
+  m.bytes = env.size();
+  m.run = [this, env = std::move(env)]() mutable {
+    deliver_envelope(std::move(env));
+  };
+  // The records were counted at send_am time; the envelope itself must not
+  // inflate the per-class statistics.
+  send_unrecorded(dst, std::move(m));
+}
+
+void Transport::deliver_envelope(ByteBuffer env) {
+  // One scratch buffer serves every record in the train: handlers receive
+  // the payload by reference and may not retain it past the call, so the
+  // storage can be recycled record-to-record without going back to the
+  // pool each time.
+  std::vector<std::byte> storage = pool_.acquire();
+  envelope::for_each_record(
+      env, [this, &storage](int handler, ByteBuffer& buf, std::uint32_t len) {
+        assert(handler >= 0 &&
+               handler < static_cast<int>(am_handlers_.size()) &&
+               "envelope record names an unregistered handler");
+        // Copy the record out so the handler sees the exact contract of the
+        // direct path: a standalone ByteBuffer with cursor 0,
+        // size() == payload size.
+        storage.clear();
+        storage.resize(len);
+        buf.get_raw(storage.data(), len);
+        ByteBuffer payload{std::move(storage)};
+        am_handlers_[static_cast<std::size_t>(handler)](payload);
+        storage = payload.take_data();
+        storage.clear();
+      });
+  pool_.release(std::move(storage));
+  pool_.release(env.take_data());
+}
+
+std::size_t Transport::flush_coalesced(int src, FlushReason reason) {
+  if (!coalescing_enabled() || src < 0 || src >= cfg_.places) return 0;
+  auto& shard = *coalesce_[static_cast<std::size_t>(src)];
+  // Seal everything under the shard lock, ship outside it: ship_envelope
+  // takes the destination inbox mutex and runs the flush hook, neither of
+  // which belongs in the shard critical section.
+  std::vector<std::tuple<int, ByteBuffer, std::uint32_t>> ready;
+  std::vector<std::vector<std::byte>> recycle;
+  {
+    std::scoped_lock lock(shard.mu);
+    recycle.swap(shard.spare);
+    if (shard.active.empty()) {
+      if (recycle.empty()) return 0;
+    } else {
+      ready.reserve(shard.active.size());
+      for (int dst : shard.active) {
+        auto& w = shard.per_dst[static_cast<std::size_t>(dst)];
+        assert(w.is_open() && w.records() > 0);
+        const std::uint32_t n = w.records();
+        ready.emplace_back(dst, w.close(), n);
+      }
+      shard.active.clear();
+    }
+  }
+  if (!recycle.empty()) pool_.release_batch(std::move(recycle));
+  for (auto& [dst, env, n] : ready) {
+    ship_envelope(src, dst, std::move(env), n, reason);
+  }
+  return ready.size();
 }
 
 std::uint64_t Transport::count(MsgType t) const {
@@ -354,6 +505,11 @@ void Transport::reset_stats() {
   for (auto& b : bytes_) b.store(0, std::memory_order_relaxed);
   rdma_ops_.store(0);
   rdma_bytes_.store(0);
+  coalesce_envelopes_.store(0, std::memory_order_relaxed);
+  coalesce_records_.store(0, std::memory_order_relaxed);
+  coalesce_wire_bytes_.store(0, std::memory_order_relaxed);
+  coalesce_bypass_.store(0, std::memory_order_relaxed);
+  for (auto& f : coalesce_flush_counts_) f.store(0, std::memory_order_relaxed);
   for (auto& pc : pair_counts_) pc.store(0, std::memory_order_relaxed);
   for (auto& pc : ctrl_pair_counts_) pc.store(0, std::memory_order_relaxed);
 }

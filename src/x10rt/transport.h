@@ -34,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include "x10rt/buffer_pool.h"
+#include "x10rt/envelope.h"
 #include "x10rt/message.h"
 #include "x10rt/serialization.h"
 
@@ -42,6 +44,29 @@ namespace x10rt {
 /// Feature gate for callers (benches) whose sources must also compile
 /// against the pre-batching transport.
 #define APGAS_HAVE_POLL_BATCH 1
+
+/// Feature gate for the sender-side coalescing layer (ISSUE 3).
+#define APGAS_HAVE_COALESCE 1
+
+/// Why a coalescing envelope left the sender (the flush-reason histogram in
+/// transport.coalesce.flush.*).
+enum class FlushReason : std::uint8_t {
+  kSize,     // envelope reached coalesce_bytes
+  kCount,    // envelope reached coalesce_msgs records
+  kIdle,     // scheduler idle hook flushed the place's partial envelopes
+  kQuiesce,  // explicit quiescence/teardown flush
+};
+inline constexpr int kNumFlushReasons = 4;
+
+inline const char* flush_reason_name(FlushReason r) {
+  switch (r) {
+    case FlushReason::kSize: return "size";
+    case FlushReason::kCount: return "count";
+    case FlushReason::kIdle: return "idle";
+    case FlushReason::kQuiesce: return "quiesce";
+  }
+  return "?";
+}
 
 /// Chaos injection: with probability `delay_prob` a message is parked in a
 /// side pool and released later in randomized order. Delivery remains
@@ -59,6 +84,18 @@ struct TransportConfig {
   ChaosConfig chaos;
   bool count_pairs = false;  ///< track per-(src,dst) message counts (O(P^2))
   int dma_threads = 1;       ///< RDMA engine threads (0 = synchronous RDMA)
+
+  /// Sender-side coalescing: envelope flush threshold in wire bytes. 0
+  /// disables the aggregation layer entirely (every send_am ships its own
+  /// message, exactly the pre-ISSUE-3 behavior). See docs/transport.md.
+  std::size_t coalesce_bytes = 0;
+  /// Max records per envelope when coalescing is on.
+  int coalesce_msgs = 64;
+  /// Observability callback invoked once per shipped envelope (the runtime
+  /// wires this to the flight recorder's coalesce.flush event; the transport
+  /// itself must stay runtime-agnostic).
+  std::function<void(int src, int dst, std::uint32_t records, FlushReason)>
+      flush_hook;
 };
 
 /// Shared-memory X10RT transport. Thread-safe; one instance per "job".
@@ -91,8 +128,32 @@ class Transport {
 
   /// Sends (handler id, payload) to `dst`; the destination scheduler invokes
   /// the handler with the payload's read cursor at 0.
+  ///
+  /// With coalescing enabled (cfg.coalesce_bytes > 0) small payloads from a
+  /// real place (src >= 0) are *parked* in the per-(src,dst) envelope and
+  /// only hit the destination inbox when the envelope flushes — by size,
+  /// record count, or an explicit flush_coalesced() (the scheduler's idle
+  /// hook / quiescence points). Per-class count/byte statistics always tally
+  /// the *logical* message here, so control-volume metrics stay comparable
+  /// whether or not the wire batches them.
   void send_am(int src, int dst, int handler, ByteBuffer payload,
                MsgType type = MsgType::kControl);
+
+  /// Ships every pending envelope whose source place is `src`. Returns the
+  /// number of envelopes sent. Cheap no-op when coalescing is off. Callers:
+  /// the per-place scheduler idle hook (reason kIdle) and teardown
+  /// quiescence (reason kQuiesce).
+  std::size_t flush_coalesced(int src, FlushReason reason = FlushReason::kIdle);
+
+  /// A ByteBuffer backed by pooled storage — frame encoders use this instead
+  /// of a fresh vector so the control plane recycles wire buffers.
+  [[nodiscard]] ByteBuffer acquire_buffer() {
+    return ByteBuffer{pool_.acquire()};
+  }
+  /// Returns a buffer's storage to the pool.
+  void recycle_buffer(ByteBuffer&& buf) { pool_.release(buf.take_data()); }
+
+  [[nodiscard]] const BufferPool& pool() const { return pool_; }
 
   /// Non-blocking pop of the next deliverable message for `place`.
   std::optional<Message> poll(int place);
@@ -181,6 +242,34 @@ class Transport {
   [[nodiscard]] std::uint64_t ctrl_pair_count(int src, int dst) const;
   [[nodiscard]] int max_ctrl_out_degree() const;
 
+  // --- Coalescing statistics ----------------------------------------------
+
+  [[nodiscard]] bool coalescing_enabled() const {
+    return cfg_.coalesce_bytes > 0;
+  }
+  /// Envelopes shipped (wire messages carrying >= 1 coalesced record).
+  [[nodiscard]] std::uint64_t coalesce_envelopes() const {
+    return coalesce_envelopes_.load(std::memory_order_relaxed);
+  }
+  /// Logical AMs that traveled inside envelopes.
+  [[nodiscard]] std::uint64_t coalesce_records() const {
+    return coalesce_records_.load(std::memory_order_relaxed);
+  }
+  /// Total wire bytes of shipped envelopes (headers included).
+  [[nodiscard]] std::uint64_t coalesce_wire_bytes() const {
+    return coalesce_wire_bytes_.load(std::memory_order_relaxed);
+  }
+  /// send_am calls that skipped the aggregation layer (oversize payload or
+  /// anonymous source) while coalescing was on.
+  [[nodiscard]] std::uint64_t coalesce_bypass() const {
+    return coalesce_bypass_.load(std::memory_order_relaxed);
+  }
+  /// Flush-reason histogram: envelopes shipped for `reason`.
+  [[nodiscard]] std::uint64_t coalesce_flushes(FlushReason reason) const {
+    return coalesce_flush_counts_[static_cast<std::size_t>(reason)].load(
+        std::memory_order_relaxed);
+  }
+
   void reset_stats();
 
  private:
@@ -205,15 +294,67 @@ class Transport {
     std::function<void()> on_complete;
   };
 
+  /// TTAS spin-then-yield lock for the coalescing shard. The critical
+  /// section is a bounded small memcpy (no user code, no allocation on the
+  /// steady path), so a futex round-trip per record costs more than the
+  /// work it guards; spinning briefly and then yielding degrades gracefully
+  /// when the core is oversubscribed.
+  class SpinLock {
+   public:
+    void lock() noexcept {
+      int spins = 0;
+      while (flag_.test_and_set(std::memory_order_acquire)) {
+        if (++spins >= 128) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+    void unlock() noexcept { flag_.clear(std::memory_order_release); }
+
+   private:
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+  };
+
+  /// Per-source-place coalescing state: one envelope Writer per destination,
+  /// plus the list of destinations with an open (partial) envelope so a
+  /// flush never scans all P writers. Guarded by `mu`; the lock order is
+  /// shard -> inbox (ship_envelope runs outside the shard lock), and no
+  /// inbox-holding path ever takes a shard lock, so the order is acyclic.
+  struct CoalesceShard {
+    SpinLock mu;
+    std::vector<envelope::Writer> per_dst;
+    std::vector<int> active;
+    // Payload storage taken back after a record is copied into an envelope,
+    // parked here (we already hold `mu`) and recycled to the BufferPool in
+    // one batch per shipped envelope — per-envelope freelist locking instead
+    // of per-message.
+    std::vector<std::vector<std::byte>> spare;
+  };
+
   void enqueue_locked(Inbox& box, Message&& m);
   void maybe_release_delayed_locked(Inbox& box);
   void record(const Message& m, int dst);
+  /// The per-class / per-pair statistics bump shared by the direct path
+  /// (via record()) and the coalesced path (per logical record, at send_am
+  /// time) — so control-volume metrics are comparable across modes.
+  void count_logical(int src, int dst, MsgType type, std::size_t wire_bytes);
+  /// send() minus the statistics: envelopes ride this so their records are
+  /// not double-counted.
+  void send_unrecorded(int dst, Message m);
+  /// Accounts a sealed envelope, fires cfg_.flush_hook, and enqueues it.
+  void ship_envelope(int src, int dst, ByteBuffer env, std::uint32_t records,
+                     FlushReason reason);
+  /// Receiver side: unpack an envelope and run each record's AM handler.
+  void deliver_envelope(ByteBuffer env);
   void submit_dma(DmaOp op, MsgType completion_type);
   void dma_loop();
 
   TransportConfig cfg_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   std::vector<AmHandler> am_handlers_;
+  std::vector<std::unique_ptr<CoalesceShard>> coalesce_;
+  BufferPool pool_;
 
   // Registered memory ranges per place (read-mostly: every one-sided op
   // validates against them, so reads take a shared lock).
@@ -225,6 +366,11 @@ class Transport {
   std::atomic<std::uint64_t> bytes_[kNumMsgTypes] = {};
   std::atomic<std::uint64_t> rdma_ops_{0};
   std::atomic<std::uint64_t> rdma_bytes_{0};
+  std::atomic<std::uint64_t> coalesce_envelopes_{0};
+  std::atomic<std::uint64_t> coalesce_records_{0};
+  std::atomic<std::uint64_t> coalesce_wire_bytes_{0};
+  std::atomic<std::uint64_t> coalesce_bypass_{0};
+  std::atomic<std::uint64_t> coalesce_flush_counts_[kNumFlushReasons] = {};
   std::vector<std::atomic<std::uint64_t>> pair_counts_;  // P*P when enabled
   std::vector<std::atomic<std::uint64_t>> ctrl_pair_counts_;
 

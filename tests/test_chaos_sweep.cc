@@ -65,26 +65,56 @@ std::map<std::string, std::uint64_t> structural(
   return out;
 }
 
-/// Runs `job` once per seed, asserting per-run invariants and cross-seed
-/// equality of the structural counters.
+/// Runs `job` once per seed — with the sender-side coalescing layer off and
+/// again with it on — asserting per-run invariants and equality of the
+/// structural counters across *all* runs: neither chaos scheduling nor wire
+/// batching may change the protocol books.
 template <typename Job>
 void sweep(int places, Job job, int places_per_node = 8) {
   std::map<std::string, std::uint64_t> reference;
-  for (int s = 0; s < kNumSeeds; ++s) {
-    SCOPED_TRACE("seed index " + std::to_string(s));
-    Runtime::run(chaos_cfg(places, kSeeds[s], places_per_node), job);
-    const auto& m = last_run_metrics();
-    // Conservation: every snapshot sent is either applied or provably stale.
-    EXPECT_EQ(m.at("finish.snapshots.sent"),
-              m.at("finish.snapshots.applied") + m.at("finish.snapshots.stale"));
-    // Every shipped task crossed the transport and was dequeued exactly once.
-    EXPECT_EQ(m.at("runtime.tasks_shipped"), m.at("sched.msgs.task"));
-    EXPECT_EQ(m.at("runtime.tasks_shipped"), m.at("transport.msgs.task"));
-    const auto strut = structural(m);
-    if (s == 0) {
-      reference = strut;
-    } else {
-      EXPECT_EQ(strut, reference) << "accounting drifted with the chaos seed";
+  bool have_reference = false;
+  for (const bool coalesce : {false, true}) {
+    for (int s = 0; s < kNumSeeds; ++s) {
+      SCOPED_TRACE(std::string(coalesce ? "coalesce-on" : "coalesce-off") +
+                   " seed index " + std::to_string(s));
+      Config cfg = chaos_cfg(places, kSeeds[s], places_per_node);
+      if (coalesce) {
+        // Small thresholds so envelopes actually mix records *and* partial
+        // envelopes actually park — exercising every flush reason under
+        // chaos, including the idle/quiescence paths termination relies on.
+        cfg.coalesce_bytes = 512;
+        cfg.coalesce_msgs = 8;
+      }
+      Runtime::run(cfg, job);
+      const auto& m = last_run_metrics();
+      // Conservation: every snapshot sent is either applied or provably
+      // stale.
+      EXPECT_EQ(m.at("finish.snapshots.sent"),
+                m.at("finish.snapshots.applied") +
+                    m.at("finish.snapshots.stale"));
+      // Every shipped task crossed the transport and was dequeued exactly
+      // once (tasks are never coalesced, so this holds in both modes).
+      EXPECT_EQ(m.at("runtime.tasks_shipped"), m.at("sched.msgs.task"));
+      EXPECT_EQ(m.at("runtime.tasks_shipped"), m.at("transport.msgs.task"));
+      if (coalesce) {
+        // Envelope conservation: the flush-reason histogram accounts for
+        // every envelope, and no envelope ships empty. (The per-reason
+        // split itself is timing-dependent — not asserted.)
+        const std::uint64_t envelopes = m.at("transport.coalesce.envelopes");
+        EXPECT_EQ(envelopes, m.at("transport.coalesce.flush.size") +
+                                 m.at("transport.coalesce.flush.count") +
+                                 m.at("transport.coalesce.flush.idle") +
+                                 m.at("transport.coalesce.flush.quiesce"));
+        EXPECT_GE(m.at("transport.coalesce.records"), envelopes);
+      }
+      const auto strut = structural(m);
+      if (!have_reference) {
+        reference = strut;
+        have_reference = true;
+      } else {
+        EXPECT_EQ(strut, reference)
+            << "accounting drifted with the chaos seed / coalescing mode";
+      }
     }
   }
 }

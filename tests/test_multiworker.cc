@@ -188,10 +188,20 @@ INSTANTIATE_TEST_SUITE_P(Protocols, ChaosFourWorkers,
 TEST_P(ChaosFourWorkers, ProtocolSurvivesChaosAndStealing) {
   const Pragma pragma = GetParam();
   for (std::uint64_t seed : kChaosSeeds) {
-    SCOPED_TRACE("seed " + std::to_string(seed));
+  for (const bool coalesce : {false, true}) {
+    SCOPED_TRACE("seed " + std::to_string(seed) +
+                 (coalesce ? " coalesce-on" : " coalesce-off"));
     std::atomic<int> ran{0};
     int expected = 0;
-    Runtime::run(chaos4_cfg(seed), [&] {
+    Config cfg = chaos4_cfg(seed);
+    if (coalesce) {
+      // Small thresholds: four workers per place hammer the same coalescing
+      // shard while chaos reorders the envelopes — the TSan-audited
+      // configuration of the aggregation layer.
+      cfg.coalesce_bytes = 512;
+      cfg.coalesce_msgs = 8;
+    }
+    Runtime::run(cfg, [&] {
       switch (pragma) {
         case Pragma::kLocal:
           finish(Pragma::kLocal, [&] {
@@ -254,6 +264,7 @@ TEST_P(ChaosFourWorkers, ProtocolSurvivesChaosAndStealing) {
     EXPECT_EQ(m.at("finish.snapshots.sent"),
               m.at("finish.snapshots.applied") + m.at("finish.snapshots.stale"));
     EXPECT_EQ(m.at("runtime.tasks_shipped"), m.at("sched.msgs.task"));
+  }
   }
 }
 

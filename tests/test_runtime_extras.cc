@@ -9,8 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <optional>
 #include <set>
+#include <string>
+#include <utility>
 
 namespace {
 
@@ -330,6 +334,91 @@ TEST(Rails, GupsRemoteXorThroughRail) {
     EXPECT_EQ(remote[7], 0x111ULL);
     EXPECT_EQ(remote[3], 4u);
   });
+}
+
+// --- Config::from_env / apply_env (ISSUE 3 satellite) ------------------------
+
+class ConfigEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : kVars) {
+      const char* v = std::getenv(name);
+      saved_.emplace_back(name, v ? std::optional<std::string>(v)
+                                  : std::nullopt);
+      ::unsetenv(name);
+    }
+  }
+  void TearDown() override {
+    for (const auto& [name, value] : saved_) {
+      if (value) {
+        ::setenv(name.c_str(), value->c_str(), 1);
+      } else {
+        ::unsetenv(name.c_str());
+      }
+    }
+  }
+  static constexpr const char* kVars[] = {
+      "APGAS_PLACES", "APGAS_WORKERS_PER_PLACE", "APGAS_POLL_BATCH",
+      "APGAS_COALESCE_BYTES", "APGAS_COALESCE_MSGS"};
+
+ private:
+  std::vector<std::pair<std::string, std::optional<std::string>>> saved_;
+};
+
+TEST_F(ConfigEnv, UnsetVariablesLeaveDefaults) {
+  const Config defaults;
+  const Config cfg = Config::from_env();
+  EXPECT_EQ(cfg.places, defaults.places);
+  EXPECT_EQ(cfg.workers_per_place, defaults.workers_per_place);
+  EXPECT_EQ(cfg.poll_batch, defaults.poll_batch);
+  EXPECT_EQ(cfg.coalesce_bytes, defaults.coalesce_bytes);
+  EXPECT_EQ(cfg.coalesce_msgs, defaults.coalesce_msgs);
+}
+
+TEST_F(ConfigEnv, OverridesEveryPerfKnob) {
+  ::setenv("APGAS_PLACES", "6", 1);
+  ::setenv("APGAS_WORKERS_PER_PLACE", "2", 1);
+  ::setenv("APGAS_POLL_BATCH", "7", 1);
+  ::setenv("APGAS_COALESCE_BYTES", "2048", 1);
+  ::setenv("APGAS_COALESCE_MSGS", "16", 1);
+  const Config cfg = Config::from_env();
+  EXPECT_EQ(cfg.places, 6);
+  EXPECT_EQ(cfg.workers_per_place, 2);
+  EXPECT_EQ(cfg.poll_batch, 7);
+  EXPECT_EQ(cfg.coalesce_bytes, 2048u);
+  EXPECT_EQ(cfg.coalesce_msgs, 16);
+}
+
+TEST_F(ConfigEnv, AppliesOnTopOfExistingConfig) {
+  ::setenv("APGAS_COALESCE_BYTES", "512", 1);
+  Config cfg;
+  cfg.places = 3;
+  cfg.poll_batch = 5;
+  Config::apply_env(cfg);
+  EXPECT_EQ(cfg.coalesce_bytes, 512u);  // overridden
+  EXPECT_EQ(cfg.places, 3);             // untouched
+  EXPECT_EQ(cfg.poll_batch, 5);
+}
+
+TEST_F(ConfigEnv, RejectsGarbageAndNegatives) {
+  const Config defaults;
+  ::setenv("APGAS_POLL_BATCH", "not-a-number", 1);
+  ::setenv("APGAS_COALESCE_BYTES", "-4", 1);
+  ::setenv("APGAS_PLACES", "", 1);
+  ::setenv("APGAS_COALESCE_MSGS", "12trailing", 1);
+  const Config cfg = Config::from_env();
+  EXPECT_EQ(cfg.poll_batch, defaults.poll_batch);
+  EXPECT_EQ(cfg.coalesce_bytes, defaults.coalesce_bytes);
+  EXPECT_EQ(cfg.places, defaults.places);
+  EXPECT_EQ(cfg.coalesce_msgs, defaults.coalesce_msgs);
+}
+
+TEST_F(ConfigEnv, ZeroDisablesCoalescing) {
+  ::setenv("APGAS_COALESCE_BYTES", "0", 1);
+  Config cfg;
+  cfg.coalesce_bytes = 4096;
+  Config::apply_env(cfg);
+  EXPECT_EQ(cfg.coalesce_bytes, 0u);
 }
 
 }  // namespace

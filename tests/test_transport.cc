@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <numeric>
 #include <set>
+#include <tuple>
 #include <vector>
 
 namespace {
@@ -235,6 +236,223 @@ TEST(Transport, WaitNonemptyWakesOnSend) {
   }
   sender.join();
   EXPECT_TRUE(got);
+}
+
+// --- sender-side coalescing (ISSUE 3) ---------------------------------------
+
+TransportConfig coalesce_cfg(int places, std::size_t bytes, int msgs) {
+  TransportConfig cfg = make_cfg(places);
+  cfg.coalesce_bytes = bytes;
+  cfg.coalesce_msgs = msgs;
+  return cfg;
+}
+
+x10rt::ByteBuffer int_payload(int v) {
+  x10rt::ByteBuffer b;
+  b.put(v);
+  return b;
+}
+
+TEST(TransportCoalesce, ParksUntilExplicitFlush) {
+  Transport tr(coalesce_cfg(2, 1u << 12, 64));
+  std::vector<int> seen;
+  const int h = tr.register_am(
+      [&seen](x10rt::ByteBuffer& buf) { seen.push_back(buf.get<int>()); });
+  for (int i = 0; i < 5; ++i) tr.send_am(0, 1, h, int_payload(i));
+  // Below both thresholds: nothing on the wire yet…
+  EXPECT_FALSE(tr.poll(1).has_value());
+  // …but the logical sends are already accounted.
+  EXPECT_EQ(tr.count(MsgType::kControl), 5u);
+  ASSERT_EQ(tr.flush_coalesced(0, x10rt::FlushReason::kIdle), 1u);
+  while (auto m = tr.poll(1)) m->run();
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(tr.coalesce_envelopes(), 1u);
+  EXPECT_EQ(tr.coalesce_records(), 5u);
+  EXPECT_EQ(tr.coalesce_flushes(x10rt::FlushReason::kIdle), 1u);
+}
+
+TEST(TransportCoalesce, RecordCountThresholdAutoFlushes) {
+  Transport tr(coalesce_cfg(2, 1u << 12, 4));
+  std::vector<int> seen;
+  const int h = tr.register_am(
+      [&seen](x10rt::ByteBuffer& buf) { seen.push_back(buf.get<int>()); });
+  for (int i = 0; i < 9; ++i) tr.send_am(0, 1, h, int_payload(i));
+  while (auto m = tr.poll(1)) m->run();
+  // Two full envelopes of 4 shipped themselves; the 9th record is parked.
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(tr.coalesce_flushes(x10rt::FlushReason::kCount), 2u);
+  EXPECT_EQ(tr.flush_coalesced(0), 1u);
+  while (auto m = tr.poll(1)) m->run();
+  EXPECT_EQ(seen.size(), 9u);
+  EXPECT_EQ(tr.coalesce_records(), 9u);
+}
+
+TEST(TransportCoalesce, SizeThresholdAutoFlushes) {
+  // Threshold chosen so the second record crosses coalesce_bytes.
+  const std::size_t threshold = x10rt::envelope::kHeaderBytes +
+                                2 * (x10rt::envelope::kRecordHeaderBytes +
+                                     sizeof(int));
+  Transport tr(coalesce_cfg(2, threshold, 64));
+  int seen = 0;
+  const int h = tr.register_am([&seen](x10rt::ByteBuffer&) { ++seen; });
+  tr.send_am(0, 1, h, int_payload(1));
+  EXPECT_FALSE(tr.poll(1).has_value());
+  tr.send_am(0, 1, h, int_payload(2));
+  while (auto m = tr.poll(1)) m->run();
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(tr.coalesce_flushes(x10rt::FlushReason::kSize), 1u);
+}
+
+TEST(TransportCoalesce, OversizePayloadBypassesAggregation) {
+  Transport tr(coalesce_cfg(2, 64, 64));
+  std::size_t got = 0;
+  const int h = tr.register_am(
+      [&got](x10rt::ByteBuffer& buf) { got = buf.size(); });
+  x10rt::ByteBuffer big;
+  const std::vector<std::uint64_t> data(32, 0x55u);  // > 64-byte threshold
+  big.put_vector(data);
+  tr.send_am(0, 1, h, std::move(big));
+  // Shipped directly — no flush needed.
+  auto m = tr.poll(1);
+  ASSERT_TRUE(m.has_value());
+  m->run();
+  EXPECT_EQ(got, sizeof(std::uint32_t) + 32 * sizeof(std::uint64_t));
+  EXPECT_EQ(tr.coalesce_bypass(), 1u);
+  EXPECT_EQ(tr.coalesce_envelopes(), 0u);
+}
+
+TEST(TransportCoalesce, PerDestinationEnvelopesStaySeparate) {
+  Transport tr(coalesce_cfg(3, 1u << 12, 64));
+  std::vector<int> seen;
+  const int h = tr.register_am(
+      [&seen](x10rt::ByteBuffer& buf) { seen.push_back(buf.get<int>()); });
+  for (int i = 0; i < 3; ++i) {
+    tr.send_am(0, 1, h, int_payload(i));
+    tr.send_am(0, 2, h, int_payload(100 + i));
+  }
+  // One envelope per destination with a partial train.
+  EXPECT_EQ(tr.flush_coalesced(0), 2u);
+  while (auto m = tr.poll(1)) m->run();
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+  seen.clear();
+  while (auto m = tr.poll(2)) m->run();
+  EXPECT_EQ(seen, (std::vector<int>{100, 101, 102}));
+}
+
+TEST(TransportCoalesce, FlushOnEmptyShardIsANoOp) {
+  Transport tr(coalesce_cfg(2, 1u << 12, 64));
+  EXPECT_EQ(tr.flush_coalesced(0), 0u);
+  EXPECT_EQ(tr.flush_coalesced(1, x10rt::FlushReason::kQuiesce), 0u);
+  EXPECT_EQ(tr.coalesce_envelopes(), 0u);
+}
+
+TEST(TransportCoalesce, DisabledByDefaultShipsImmediately) {
+  Transport tr(make_cfg(2));
+  EXPECT_FALSE(tr.coalescing_enabled());
+  int seen = 0;
+  const int h = tr.register_am([&seen](x10rt::ByteBuffer&) { ++seen; });
+  tr.send_am(0, 1, h, int_payload(1));
+  auto m = tr.poll(1);
+  ASSERT_TRUE(m.has_value());
+  m->run();
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(tr.flush_coalesced(0), 0u);
+  EXPECT_EQ(tr.coalesce_envelopes(), 0u);
+}
+
+TEST(TransportCoalesce, PairCountsTallyLogicalRecords) {
+  TransportConfig cfg = coalesce_cfg(2, 1u << 12, 64);
+  cfg.count_pairs = true;
+  Transport tr(cfg);
+  const int h = tr.register_am([](x10rt::ByteBuffer&) {});
+  for (int i = 0; i < 4; ++i) tr.send_am(0, 1, h, int_payload(i));
+  tr.flush_coalesced(0);
+  // Out-degree / pair statistics describe the logical communication graph.
+  EXPECT_EQ(tr.pair_count(0, 1), 4u);
+  EXPECT_EQ(tr.ctrl_pair_count(0, 1), 4u);
+}
+
+TEST(TransportCoalesce, FlushHookReportsEveryEnvelope) {
+  TransportConfig cfg = coalesce_cfg(2, 1u << 12, 2);
+  std::vector<std::tuple<int, int, std::uint32_t, x10rt::FlushReason>> hooks;
+  cfg.flush_hook = [&hooks](int src, int dst, std::uint32_t records,
+                            x10rt::FlushReason reason) {
+    hooks.emplace_back(src, dst, records, reason);
+  };
+  Transport tr(cfg);
+  const int h = tr.register_am([](x10rt::ByteBuffer&) {});
+  for (int i = 0; i < 3; ++i) tr.send_am(0, 1, h, int_payload(i));
+  tr.flush_coalesced(0, x10rt::FlushReason::kQuiesce);
+  ASSERT_EQ(hooks.size(), 2u);
+  EXPECT_EQ(hooks[0], std::make_tuple(0, 1, 2u, x10rt::FlushReason::kCount));
+  EXPECT_EQ(hooks[1], std::make_tuple(0, 1, 1u, x10rt::FlushReason::kQuiesce));
+}
+
+TEST(TransportCoalesce, ChaosDeliversEveryCoalescedRecord) {
+  TransportConfig cfg = coalesce_cfg(2, 256, 8);
+  cfg.chaos.delay_prob = 0.6;
+  Transport tr(cfg);
+  std::multiset<int> seen;
+  const int h = tr.register_am(
+      [&seen](x10rt::ByteBuffer& buf) { seen.insert(buf.get<int>()); });
+  std::multiset<int> expect;
+  for (int i = 0; i < 100; ++i) {
+    tr.send_am(0, 1, h, int_payload(i));
+    expect.insert(i);
+  }
+  tr.flush_coalesced(0, x10rt::FlushReason::kQuiesce);
+  while (seen.size() < 100) {
+    if (auto m = tr.poll(1)) m->run();
+  }
+  EXPECT_EQ(seen, expect);
+  EXPECT_EQ(tr.coalesce_records(), 100u);
+}
+
+TEST(TransportCoalesce, BufferPoolRecyclesWireStorage) {
+  Transport tr(coalesce_cfg(2, 256, 8));
+  const int h = tr.register_am([](x10rt::ByteBuffer&) {});
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      x10rt::ByteBuffer b = tr.acquire_buffer();
+      b.put(i);
+      tr.send_am(0, 1, h, std::move(b));
+    }
+    tr.flush_coalesced(0);
+    while (auto m = tr.poll(1)) m->run();
+  }
+  // After warm-up the freelist serves payloads, envelopes, and receive-side
+  // record copies.
+  EXPECT_GT(tr.pool().hits(), tr.pool().misses());
+  EXPECT_GT(tr.pool().recycled(), 0u);
+}
+
+TEST(BufferPool, AcquireReleaseRoundTrip) {
+  x10rt::BufferPool pool(2, 64);
+  auto a = pool.acquire();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(pool.misses(), 1u);
+  a.resize(32);
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.recycled(), 1u);
+  auto b = pool.acquire();
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_GE(b.capacity(), 32u);
+}
+
+TEST(BufferPool, DropsOversizeAndSurplus) {
+  x10rt::BufferPool pool(1, 64);
+  std::vector<std::byte> big(128);
+  pool.release(std::move(big));  // over max_capacity
+  EXPECT_EQ(pool.dropped(), 1u);
+  std::vector<std::byte> ok1(16), ok2(16);
+  pool.release(std::move(ok1));
+  pool.release(std::move(ok2));  // freelist already full
+  EXPECT_EQ(pool.recycled(), 1u);
+  EXPECT_EQ(pool.dropped(), 2u);
+  std::vector<std::byte> empty;
+  pool.release(std::move(empty));  // nothing to retain
+  EXPECT_EQ(pool.dropped(), 3u);
 }
 
 }  // namespace
