@@ -21,6 +21,18 @@
 
 namespace bench {
 
+/// Inserts ".rN" before the extension of `path` (after the last '/'), so
+/// successive runs of one bench process don't overwrite each other's dumps:
+/// "uts.trace.json" -> "uts.r0.trace.json", "out/metrics" -> "out/metrics.r0".
+inline std::string per_run_path(const std::string& path, int run) {
+  const std::string tag = ".r" + std::to_string(run);
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot =
+      path.find('.', slash == std::string::npos ? 0 : slash + 1);
+  if (dot == std::string::npos) return path + tag;
+  return path.substr(0, dot) + tag + path.substr(dot);
+}
+
 /// Applies the observability environment to a bench Config:
 ///   APGAS_TRACE=<path>     write a Chrome trace_event JSON after the run
 ///                          (also enables the flight recorder)
@@ -30,18 +42,31 @@ namespace bench {
 /// plus the APGAS_* perf knobs (poll_batch, coalesce_bytes/msgs, places,
 /// workers_per_place) via Config::apply_env — note benches that sweep
 /// `cfg.places` themselves overwrite an APGAS_PLACES override afterwards.
-/// Returns the config so call sites can wrap construction inline.
+///
+/// Trace/metrics paths get a per-run ".rN" suffix (see per_run_path): benches
+/// construct one Config per sweep point, so the Nth observe() call in a
+/// process maps to run N and each run keeps its own dump files.
+///
+/// When any of APGAS_TRACE / APGAS_METRICS / APGAS_HIST is set, latency
+/// histograms are armed too (a metrics dump without hist.* percentiles is
+/// rarely what anyone wants); APGAS_HIST=0 still wins because apply_env runs
+/// last. Returns the config so call sites can wrap construction inline.
 inline apgas::Config& observe(apgas::Config& cfg) {
+  static int run = 0;
+  const int r = run++;
   if (const char* p = std::getenv("APGAS_TRACE")) {
     cfg.trace = true;
-    cfg.trace_path = p;
+    cfg.trace_path = per_run_path(p, r);
+    cfg.histograms = true;
   }
   if (const char* p = std::getenv("APGAS_TRACE_CAP")) {
     cfg.trace_capacity = std::strtoull(p, nullptr, 10);
   }
   if (const char* p = std::getenv("APGAS_METRICS")) {
-    cfg.metrics_path = p;
+    cfg.metrics_path = per_run_path(p, r);
+    cfg.histograms = true;
   }
+  if (std::getenv("APGAS_HIST") != nullptr) cfg.histograms = true;
   apgas::Config::apply_env(cfg);
   return cfg;
 }

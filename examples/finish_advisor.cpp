@@ -12,7 +12,7 @@ using namespace apgas;
 
 namespace {
 
-const char* pragma_name(Pragma p) {
+const char* pragma_macro_name(Pragma p) {
   switch (p) {
     case Pragma::kLocal: return "FINISH_LOCAL";
     case Pragma::kAsync: return "FINISH_ASYNC";
@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
     std::printf("%-60s -> %s\n", "pattern", "recommended pragma");
     for (const auto& c : cases) {
       const Pragma rec = profile_finish(c.body);
-      std::printf("%-60s -> %s\n", c.what, pragma_name(rec));
+      std::printf("%-60s -> %s\n", c.what, pragma_macro_name(rec));
     }
   });
   return 0;

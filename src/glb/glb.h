@@ -67,6 +67,7 @@ class Glb {
     auto* c_hits = &metrics.counter("glb.steal_hits");
     auto* c_requests = &metrics.counter("glb.lifeline_requests");
     auto* c_resus = &metrics.counter("glb.resuscitations");
+    auto* h_steal = &metrics.histogram("glb.steal_to_work_ns");
     states_ = std::make_shared<std::vector<std::unique_ptr<WorkerState>>>();
     states_->reserve(static_cast<std::size_t>(places));
     for (int p = 0; p < places; ++p) {
@@ -75,6 +76,7 @@ class Glb {
       ws->c_steal_hits = c_hits;
       ws->c_lifeline_requests = c_requests;
       ws->c_resuscitations = c_resus;
+      ws->h_steal_to_work = h_steal;
       ws->lifelines = lifelines_of(p, places, cfg_.lifelines);
       ws->lifeline_requested.assign(ws->lifelines.size(), 0);
       ws->incoming.assign(static_cast<std::size_t>(places), 0);
@@ -120,6 +122,8 @@ class Glb {
     apgas::MetricsRegistry::Counter* c_steal_hits = nullptr;
     apgas::MetricsRegistry::Counter* c_lifeline_requests = nullptr;
     apgas::MetricsRegistry::Counter* c_resuscitations = nullptr;
+    // Steal-to-work latency histogram (attempt launch -> loot merged).
+    apgas::Histogram* h_steal_to_work = nullptr;
   };
   using States = std::shared_ptr<std::vector<std::unique_ptr<WorkerState>>>;
 
@@ -190,6 +194,8 @@ class Glb {
     ws.c_steal_attempts->fetch_add(1, std::memory_order_relaxed);
     apgas::trace::emit(apgas::trace::Ev::kStealAttempt,
                        static_cast<std::uint64_t>(victim));
+    const bool timed = apgas::hist::enabled();
+    const std::uint64_t t0 = timed ? apgas::hist::now_ns() : 0;
     ws.response_pending = true;
     ws.response_had_loot = false;
 
@@ -236,6 +242,7 @@ class Glb {
     if (ws.response_had_loot) {
       ++ws.stats.steal_hits;
       ws.c_steal_hits->fetch_add(1, std::memory_order_relaxed);
+      if (timed) ws.h_steal_to_work->record(apgas::hist::now_ns() - t0);
       apgas::trace::emit(apgas::trace::Ev::kStealSuccess,
                          static_cast<std::uint64_t>(victim));
     }

@@ -24,6 +24,22 @@ enum class Pragma : std::uint8_t {
   kDense,    // FINISH_DENSE: default counting + software-routed control msgs
   kDefault,  // force the general transit-matrix protocol from the start
 };
+inline constexpr int kNumPragmas = 7;
+
+/// Stable lowercase protocol name, used for per-protocol histogram keys
+/// (hist.finish.close_ns.<name>) and trace/watchdog output.
+inline const char* pragma_name(Pragma p) {
+  switch (p) {
+    case Pragma::kAuto: return "auto";
+    case Pragma::kLocal: return "local";
+    case Pragma::kAsync: return "async";
+    case Pragma::kHere: return "here";
+    case Pragma::kSpmd: return "spmd";
+    case Pragma::kDense: return "dense";
+    case Pragma::kDefault: return "default";
+  }
+  return "?";
+}
 
 /// Globally unique identity of a finish: its home place plus a per-place
 /// sequence number. Control messages carry keys; places resolve them against
@@ -69,6 +85,12 @@ struct Activity {
   FinCtx fin;                 // invalid key + null home = system activity
   std::uint64_t credit = 0;   // FINISH_HERE weight carried (0 = none)
   bool remote_origin = false;  // arrived via the transport (an `at ... async`)
+  // Causal span ids (docs/observability.md): place bits | local counter,
+  // minted at the spawn site when tracing is enabled (0 = untraced). The
+  // pair links a kActivityBegin on the executing place back to the
+  // kActivitySpawn that created it, across places.
+  std::uint64_t span = 0;
+  std::uint64_t parent_span = 0;
 };
 
 /// Takes a child's share (half) of a credit-carrying activity's remaining

@@ -69,12 +69,18 @@ inline Pragma profile_finish(const std::function<void()>& body) {
 /// `async S`: spawns a local activity under the innermost enclosing finish.
 inline void async(std::function<void()> f) {
   Runtime& rt = Runtime::get();
-  trace::emit(trace::Ev::kActivitySpawn,
-              static_cast<std::uint64_t>(here()), /*remote=*/0);
   FinCtx ctx = current_spawn_ctx();
   Activity act;
   act.body = std::move(f);
   act.fin = ctx;
+  if (trace::enabled()) {
+    // Span ids are minted only when tracing is live; untraced runs keep
+    // span 0 everywhere and pay nothing beyond the enabled() load.
+    act.span = rt.new_span(here());
+    act.parent_span = current_span();
+    trace::emit(trace::Ev::kActivitySpawn, act.span,
+                static_cast<std::uint64_t>(here()));  // remote bit 32 = 0
+  }
   if (ctx.home != nullptr) {
     const bool parent_credit = detail::tl_open_finish == nullptr &&
                                detail::tl_activity != nullptr &&
@@ -113,8 +119,14 @@ inline void asyncAt(int p, std::function<void()> f) {
     async(std::move(f));
     return;
   }
-  trace::emit(trace::Ev::kActivitySpawn, static_cast<std::uint64_t>(p),
-              /*remote=*/1);
+  std::uint64_t span = 0;
+  std::uint64_t parent_span = 0;
+  if (trace::enabled()) {
+    span = rt.new_span(here());
+    parent_span = current_span();
+    trace::emit(trace::Ev::kActivitySpawn, span,
+                (1ull << 32) | static_cast<std::uint32_t>(p));
+  }
   FinCtx ctx = current_spawn_ctx();
   std::uint64_t credit = 0;
   if (ctx.home != nullptr) {
@@ -137,7 +149,7 @@ inline void asyncAt(int p, std::function<void()> f) {
   }
   FinCtx wire = ctx;
   wire.home = nullptr;  // resolved at the destination
-  rt.send_task(p, std::move(f), wire, credit);
+  rt.send_task(p, std::move(f), wire, credit, span, parent_span);
 }
 
 /// Blocking `at(p) e`: shifts to place p, evaluates f, and returns the

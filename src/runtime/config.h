@@ -72,6 +72,25 @@ struct Config {
   /// (".json" suffix selects JSON, anything else flat key=value lines).
   std::string metrics_path;
 
+  /// Arm the latency histograms (hist.* metric keys: task ship->execute,
+  /// finish open->close per protocol, envelope residency, activity duration,
+  /// steal-to-work). Off by default: every recording site then costs one
+  /// relaxed atomic load, matching the flight recorder's contract.
+  bool histograms = false;
+
+  // --- stall watchdog (docs/observability.md) ------------------------------
+
+  /// Sampling interval of the stall watchdog thread in milliseconds; 0 (the
+  /// default) never starts the thread. When no progress signal advances for
+  /// `watchdog_stall_intervals` consecutive samples, one human-readable
+  /// diagnosis (queue depths, oldest open finish, coalescer occupancy,
+  /// recent trace events) is dumped to stderr; it re-arms only after
+  /// progress resumes.
+  int watchdog_interval_ms = 0;
+
+  /// Consecutive no-progress samples before the watchdog diagnoses a stall.
+  int watchdog_stall_intervals = 5;
+
   /// Applies `APGAS_*` environment overrides for the perf knobs on top of
   /// whatever `cfg` already holds, so benches and CI sweep configurations
   /// without recompiling:
@@ -81,6 +100,9 @@ struct Config {
   ///   APGAS_POLL_BATCH         poll_batch
   ///   APGAS_COALESCE_BYTES     coalesce_bytes (0 disables coalescing)
   ///   APGAS_COALESCE_MSGS      coalesce_msgs
+  ///   APGAS_HIST               histograms (nonzero arms them)
+  ///   APGAS_WATCHDOG_MS        watchdog_interval_ms (nonzero starts it)
+  ///   APGAS_WATCHDOG_INTERVALS watchdog_stall_intervals
   ///
   /// Unset or non-numeric variables leave the knob untouched.
   static void apply_env(Config& cfg) {
@@ -97,6 +119,11 @@ struct Config {
     read("APGAS_POLL_BATCH", cfg.poll_batch);
     read("APGAS_COALESCE_BYTES", cfg.coalesce_bytes);
     read("APGAS_COALESCE_MSGS", cfg.coalesce_msgs);
+    int hist = cfg.histograms ? 1 : 0;
+    read("APGAS_HIST", hist);
+    cfg.histograms = hist != 0;
+    read("APGAS_WATCHDOG_MS", cfg.watchdog_interval_ms);
+    read("APGAS_WATCHDOG_INTERVALS", cfg.watchdog_stall_intervals);
   }
 
   /// Defaults + apply_env().

@@ -69,6 +69,7 @@ FinishHome::FinishHome(Runtime& rt, Pragma pragma) : rt_(rt), pragma_(pragma) {
     ps.home_finishes.emplace(key_.seq, this);
   }
   rt_.fin_counters().opened->fetch_add(1, std::memory_order_relaxed);
+  if (hist::enabled()) open_ns_ = hist::now_ns();
   trace::emit(trace::Ev::kFinishOpen, key_.seq,
               static_cast<std::uint64_t>(pragma_));
   if (pragma_ == Pragma::kDefault || pragma_ == Pragma::kDense) {
@@ -273,6 +274,12 @@ void FinishHome::wait() {
   }
   trace::emit(trace::Ev::kFinishClose, key_.seq,
               static_cast<std::uint64_t>(pragma_));
+  rt_.fin_counters().closed->fetch_add(1, std::memory_order_relaxed);
+  // Keyed by the declared pragma (matching kFinishOpen/Close and the async
+  // trace track), not mode(): an upgraded kAuto still closes under "auto".
+  if (open_ns_ != 0) {
+    rt_.fin_close_hist(pragma_).record(hist::now_ns() - open_ns_);
+  }
 
   std::exception_ptr first;
   {

@@ -71,6 +71,9 @@ class FinishHome {
   [[nodiscard]] FinishKey key() const { return key_; }
   [[nodiscard]] Pragma mode() const;
   [[nodiscard]] bool upgraded() const { return upgraded_; }
+  /// The pragma this finish was opened with (immutable after construction —
+  /// unlike mode(), safe to read from the watchdog thread without mu_).
+  [[nodiscard]] Pragma declared_pragma() const { return pragma_; }
 
   // --- home-place accounting (called on the home place only) --------------
 
@@ -127,6 +130,7 @@ class FinishHome {
   FinishKey key_;
   Pragma pragma_;
   bool upgraded_ = false;
+  std::uint64_t open_ns_ = 0;  // hist stamp for open->close latency
 
   mutable std::mutex mu_;
   std::int64_t local_live_ = 0;

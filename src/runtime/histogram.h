@@ -1,0 +1,178 @@
+// Lock-free log-linear latency histograms (the distribution half of the
+// observability layer; docs/observability.md).
+//
+// The paper argues latency behaviour — finish latency vs. task count (§3.1,
+// Fig. 2), steal/lifeline dynamics (§4) — but counters alone can only report
+// means. A Histogram records a full distribution at hot-path cost comparable
+// to a counter bump: HdrHistogram-style log-linear buckets (~2 significant
+// digits of relative precision), fixed memory, every bucket a relaxed atomic.
+// Writers never take a lock and never allocate; readers (snapshot) walk the
+// bucket array at quiescence or accept a mid-run approximation.
+//
+// Recording sites are gated on hist::enabled() — one relaxed bool load per
+// site when disabled, exactly the flight recorder's contract.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apgas {
+
+namespace hist {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// True when histogram recording is armed (Config::histograms). One relaxed
+/// load — the whole cost of a disabled recording site.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Monotonic nanoseconds on a clock shared by every thread in the process —
+/// send-time stamps and receive-side deltas must subtract coherently.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace hist
+
+/// Log-linear bucket histogram for non-negative 64-bit values (nanoseconds,
+/// by convention). Values below kSub land in exact unit-width buckets; above
+/// that, each power-of-two range splits into kSub/2 linear sub-buckets, so
+/// the relative bucket width is at most 2/kSub (~1.6%, i.e. ~2 significant
+/// digits). Memory is fixed at construction: kNumBuckets relaxed atomics.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 7;
+  static constexpr std::uint64_t kSub = 1ull << kSubBits;  // 128
+  static constexpr int kGroups = 64 - kSubBits;            // log2 ranges
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kSub) +
+      static_cast<std::size_t>(kGroups) * (kSub / 2);
+
+  /// Point-in-time readout. Percentiles report the *lower bound* of the
+  /// bucket holding the rank, so they are exact below kSub and undershoot by
+  /// under 1.6% above; max is tracked exactly.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+  };
+
+  Histogram() : buckets_(kNumBuckets) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  /// Bucket index of `v`. Exposed (with bucket_floor/bucket_width) for the
+  /// precision unit tests.
+  static constexpr std::size_t bucket_of(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const int msb = 63 - std::countl_zero(v);
+    const int shift = msb - kSubBits + 1;
+    const std::uint64_t mant = v >> shift;  // in [kSub/2, kSub)
+    return static_cast<std::size_t>(kSub) +
+           static_cast<std::size_t>(shift - 1) * (kSub / 2) +
+           static_cast<std::size_t>(mant - kSub / 2);
+  }
+
+  /// Smallest value mapping to bucket `idx`.
+  static constexpr std::uint64_t bucket_floor(std::size_t idx) {
+    if (idx < kSub) return idx;
+    const std::size_t g = (idx - kSub) / (kSub / 2);
+    const std::uint64_t off = (idx - kSub) % (kSub / 2);
+    return (kSub / 2 + off) << (g + 1);
+  }
+
+  /// Number of distinct values mapping to bucket `idx`.
+  static constexpr std::uint64_t bucket_width(std::size_t idx) {
+    return idx < kSub ? 1 : 1ull << ((idx - kSub) / (kSub / 2) + 1);
+  }
+
+  /// Value at quantile `q` in (0, 1]: the floor of the bucket containing the
+  /// ceil(q * N)-th recorded value (by recorded order statistics). 0 when
+  /// empty.
+  [[nodiscard]] std::uint64_t percentile(double q) const {
+    std::uint64_t total = 0;
+    std::uint64_t counts[kNumBuckets];
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += counts[i];
+    }
+    return percentile_from(counts, total, q);
+  }
+
+  [[nodiscard]] Snapshot snapshot() const {
+    Snapshot s;
+    std::uint64_t total = 0;
+    std::uint64_t counts[kNumBuckets];
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += counts[i];
+    }
+    s.count = count();
+    s.sum = sum();
+    s.max = max();
+    s.p50 = percentile_from(counts, total, 0.50);
+    s.p90 = percentile_from(counts, total, 0.90);
+    s.p99 = percentile_from(counts, total, 0.99);
+    return s;
+  }
+
+ private:
+  static std::uint64_t percentile_from(const std::uint64_t* counts,
+                                       std::uint64_t total, double q) {
+    if (total == 0) return 0;
+    auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+    if (static_cast<double>(target) < q * static_cast<double>(total)) ++target;
+    if (target == 0) target = 1;
+    if (target > total) target = total;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      cum += counts[i];
+      if (cum >= target) return bucket_floor(i);
+    }
+    return 0;  // unreachable: cum reaches total
+  }
+
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace apgas

@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 namespace apgas {
 
@@ -9,6 +11,13 @@ MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name) {
   std::scoped_lock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>(0);
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
@@ -35,12 +44,25 @@ std::uint64_t MetricsRegistry::value(const std::string& name) const {
 std::map<std::string, std::uint64_t> MetricsRegistry::snapshot() const {
   std::map<std::string, std::uint64_t> out;
   std::map<std::string, Gauge> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> hists;
   {
     std::scoped_lock lock(mu_);
     for (const auto& [name, c] : counters_) {
       out[name] = c->load(std::memory_order_relaxed);
     }
+    for (const auto& [name, h] : histograms_) hists.emplace_back(name, h.get());
     gauges = gauges_;
+  }
+  // Histogram walks (a few thousand relaxed loads each) and gauge callbacks
+  // run outside the lock; the Histogram objects live as long as the registry.
+  for (const auto& [name, h] : hists) {
+    const Histogram::Snapshot s = h->snapshot();
+    const std::string base = "hist." + name;
+    out[base + ".count"] = s.count;
+    out[base + ".p50"] = s.p50;
+    out[base + ".p90"] = s.p90;
+    out[base + ".p99"] = s.p99;
+    out[base + ".max"] = s.max;
   }
   for (const auto& [name, g] : gauges) out[name] = g();
   return out;

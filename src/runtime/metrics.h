@@ -9,6 +9,9 @@
 //   * gauges — lazy callbacks evaluated at read time, for values another
 //     layer already maintains (the x10rt transport's per-class tallies,
 //     which must stay runtime-agnostic).
+//   * histograms — lock-free log-linear latency distributions (histogram.h),
+//     resolved once like counters; snapshots expand each one into
+//     hist.<name>.{count,p50,p90,p99,max} keys.
 //
 // Naming convention (dots as separators, documented in
 // docs/observability.md):
@@ -19,6 +22,7 @@
 //   glb.*             global-load-balancer steal accounting
 //   transport.*       x10rt transport stats (gauges)
 //   trace.*           flight-recorder stats (gauges)
+//   hist.*            histogram percentile exports (docs/observability.md)
 //
 // Runtime::run snapshots the registry at teardown; last_run_metrics() hands
 // the snapshot to tests and benches after the job has quiesced.
@@ -31,6 +35,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+
+#include "runtime/histogram.h"
 
 namespace apgas {
 
@@ -48,6 +54,11 @@ class MetricsRegistry {
   /// resolve once, increment lock-free forever.
   Counter& counter(const std::string& name);
 
+  /// Returns the histogram registered under `name` (without the `hist.`
+  /// export prefix), creating it empty on first use. Same contract as
+  /// counter(): resolve once, record lock-free forever.
+  Histogram& histogram(const std::string& name);
+
   /// Registers a lazily-evaluated value. Re-registering a name replaces the
   /// previous gauge (used when a new Runtime wires fresh closures).
   void add_gauge(const std::string& name, Gauge gauge);
@@ -55,7 +66,8 @@ class MetricsRegistry {
   /// Current value of a counter or gauge; 0 for unknown names.
   [[nodiscard]] std::uint64_t value(const std::string& name) const;
 
-  /// Every counter and gauge, by name, evaluated now.
+  /// Every counter, gauge, and histogram (expanded to five hist.<name>.*
+  /// keys), by name, evaluated now.
   [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const;
 
   /// Flat `key=value` lines, sorted by key.
@@ -71,6 +83,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, Gauge> gauges_;
 };
 

@@ -7,6 +7,7 @@
 #include "runtime/congruent.h"
 #include "runtime/team.h"
 #include "runtime/trace.h"
+#include "runtime/watchdog.h"
 
 namespace apgas {
 
@@ -30,9 +31,15 @@ Runtime::Runtime(const Config& cfg) : cfg_(cfg) {
   finc_.completion_msgs = &metrics_->counter("finish.completion_msgs");
   finc_.credit_msgs = &metrics_->counter("finish.credit_msgs");
   finc_.tasks_shipped = &metrics_->counter("runtime.tasks_shipped");
+  finc_.closed = &metrics_->counter("finish.closed");
+  for (int p = 0; p < kNumPragmas; ++p) {
+    fin_close_hist_[static_cast<std::size_t>(p)] = &metrics_->histogram(
+        std::string("finish.close_ns.") + pragma_name(static_cast<Pragma>(p)));
+  }
 
   trace::init(cfg_.places, cfg_.trace_capacity,
               cfg_.trace || !cfg_.trace_path.empty());
+  hist::set_enabled(cfg_.histograms);
 
   x10rt::TransportConfig tc;
   tc.places = cfg_.places;
@@ -42,13 +49,17 @@ Runtime::Runtime(const Config& cfg) : cfg_(cfg) {
   tc.coalesce_bytes = cfg_.coalesce_bytes;
   tc.coalesce_msgs = cfg_.coalesce_msgs;
   // The transport stays runtime-agnostic; it reports envelope flushes
-  // through this hook and the runtime forwards them to the flight recorder.
-  tc.flush_hook = [](int src, int dst, std::uint32_t records,
-                     x10rt::FlushReason reason) {
+  // through this hook and the runtime forwards them to the flight recorder
+  // and the envelope-residency histogram.
+  Histogram* env_hist = &metrics_->histogram("envelope.residency_ns");
+  tc.flush_hook = [env_hist](int src, int dst, std::uint32_t records,
+                             x10rt::FlushReason reason,
+                             std::uint64_t residency_ns) {
     trace::emit_at(src, trace::Ev::kCoalesceFlush,
                    static_cast<std::uint64_t>(records),
                    (static_cast<std::uint64_t>(reason) << 32) |
                        static_cast<std::uint32_t>(dst));
+    if (residency_ns != 0 && hist::enabled()) env_hist->record(residency_ns);
   };
   transport_ = std::make_unique<x10rt::Transport>(tc);
   register_transport_gauges();
@@ -164,6 +175,7 @@ void Runtime::finalize_observability() {
   }
   detail::tl_place = saved_place;
   detail::store_last_metrics(metrics_->snapshot());
+  hist::set_enabled(false);
   if (!cfg_.metrics_path.empty()) metrics_->write(cfg_.metrics_path);
   if (!cfg_.trace_path.empty()) trace::write_chrome_json(cfg_.trace_path);
   trace::shutdown();
@@ -196,6 +208,16 @@ void Runtime::run(const Config& cfg, std::function<void()> main) {
   };
   rt.sched(0).push(std::move(boot));
 
+  // The stall watchdog samples progress counters from outside the worker
+  // pool; it must stop before finalize_observability tears the trace down.
+  std::unique_ptr<Watchdog> watchdog;
+  if (cfg.watchdog_interval_ms > 0) {
+    watchdog = std::make_unique<Watchdog>(
+        rt, std::chrono::milliseconds(cfg.watchdog_interval_ms),
+        cfg.watchdog_stall_intervals > 0 ? cfg.watchdog_stall_intervals : 1);
+    watchdog->start();
+  }
+
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(cfg.places) *
                   cfg.workers_per_place);
@@ -205,13 +227,15 @@ void Runtime::run(const Config& cfg, std::function<void()> main) {
     }
   }
   for (auto& t : workers) t.join();
+  if (watchdog) watchdog->stop();
   rt.finalize_observability();
   team_detail::registry_clear();
   current_ = nullptr;
 }
 
 void Runtime::send_task(int dst, std::function<void()> body, const FinCtx& ctx,
-                        std::uint64_t credit) {
+                        std::uint64_t credit, std::uint64_t span,
+                        std::uint64_t parent_span) {
   finc_.tasks_shipped->fetch_add(1, std::memory_order_relaxed);
   trace::emit(trace::Ev::kMsgSend,
               static_cast<std::uint64_t>(x10rt::MsgType::kTask),
@@ -222,14 +246,17 @@ void Runtime::send_task(int dst, std::function<void()> body, const FinCtx& ctx,
   // Closure environments are not literally serialized in-process; account a
   // nominal envelope so message-volume stats stay meaningful.
   m.bytes = 64;
+  if (hist::enabled()) m.t_send_ns = hist::now_ns();
   Runtime* rt = this;
-  m.run = [rt, body = std::move(body), key = ctx.key, mode = ctx.mode,
-           credit]() mutable {
+  m.run = [rt, body = std::move(body), key = ctx.key, mode = ctx.mode, credit,
+           span, parent_span]() mutable {
     Activity act;
     act.fin = fin_task_received(*rt, key, mode);
     act.body = std::move(body);
     act.credit = credit;
     act.remote_origin = true;
+    act.span = span;
+    act.parent_span = parent_span;
     rt->sched(here()).run_activity(act);
   };
   transport_->send(dst, std::move(m));

@@ -6,6 +6,7 @@
 // (all other places start idle, exactly as in X10).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -41,6 +42,7 @@ struct FinishCounters {
   MetricsRegistry::Counter* completion_msgs = nullptr;
   MetricsRegistry::Counter* credit_msgs = nullptr;
   MetricsRegistry::Counter* tasks_shipped = nullptr;
+  MetricsRegistry::Counter* closed = nullptr;
 };
 
 /// FINISH_DENSE per-master pending control frames, keyed by next hop.
@@ -68,6 +70,10 @@ struct PlaceState {
   // the generation counter wakes `when` waiters after each atomic section).
   std::mutex atomic_mu;
   std::atomic<std::uint64_t> atomic_gen{0};
+
+  // Local half of the causal span ids minted at this place (starts at 1 so
+  // span 0 always means "untraced").
+  std::atomic<std::uint64_t> next_span{1};
 };
 
 class Runtime {
@@ -102,10 +108,26 @@ class Runtime {
     return p - p % cfg_.places_per_node;
   }
 
+  /// Mints a causal span id at `place`: place bits (high 16) | a per-place
+  /// counter. Called only when tracing is enabled; 0 stays "untraced".
+  [[nodiscard]] std::uint64_t new_span(int place) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(place))
+            << 48) |
+           pstate(place).next_span.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Finish open->close latency histogram for the declared protocol.
+  [[nodiscard]] Histogram& fin_close_hist(Pragma p) {
+    return *fin_close_hist_[static_cast<std::size_t>(p)];
+  }
+
   /// Ships a task to place `dst` under the given finish context. `credit` is
   /// the FINISH_HERE weight travelling with the task (0 for other protocols).
+  /// `span`/`parent_span` are the causal ids travelling with the task (0 =
+  /// untraced).
   void send_task(int dst, std::function<void()> body, const FinCtx& ctx,
-                 std::uint64_t credit);
+                 std::uint64_t credit, std::uint64_t span = 0,
+                 std::uint64_t parent_span = 0);
 
   /// Sends a control-message closure (finish protocol traffic).
   void send_ctrl(int dst, std::function<void()> fn, std::size_t bytes);
@@ -149,6 +171,8 @@ class Runtime {
   int am_credit_ = -1;
   std::vector<std::unique_ptr<PlaceState>> pstates_;
   std::unique_ptr<CongruentSpace> congruent_;
+  // Per-protocol finish open->close latency histograms, resolved once.
+  std::array<Histogram*, kNumPragmas> fin_close_hist_{};
   std::atomic<bool> shutdown_{false};
 };
 
@@ -169,6 +193,12 @@ inline int here() {
 }
 
 inline int num_places() { return Runtime::get().places(); }
+
+/// Span id of the activity executing on this thread (0 when untraced or off
+/// a worker thread). Spawn sites record it as the parent of the new span.
+inline std::uint64_t current_span() {
+  return detail::tl_activity != nullptr ? detail::tl_activity->span : 0;
+}
 
 /// The finish context new spawns should register under.
 FinCtx current_spawn_ctx();

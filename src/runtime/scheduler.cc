@@ -45,7 +45,9 @@ Scheduler::Scheduler(Runtime& rt, int place)
                                    ".steals")),
       overflow_drained_(rt.metrics().counter("sched.p" +
                                              std::to_string(place) +
-                                             ".overflow")) {
+                                             ".overflow")),
+      hist_ship_(rt.metrics().histogram("task.ship_ns")),
+      hist_exec_(rt.metrics().histogram("activity.exec_ns")) {
   for (int t = 0; t < x10rt::kNumMsgTypes; ++t) {
     msgs_by_type_[static_cast<std::size_t>(t)] = &rt.metrics().counter(
         std::string("sched.msgs.") +
@@ -168,13 +170,19 @@ void Scheduler::run_activity(Activity& act) {
   FinishHome* prev_open = detail::tl_open_finish;
   detail::tl_activity = &act;
   detail::tl_open_finish = nullptr;
-  trace::emit_at(place_, trace::Ev::kActivityBegin);
+  trace::emit_at(place_, trace::Ev::kActivityBegin, act.span,
+                 act.parent_span);
+  // Sample `timed` once so a mid-run toggle can never record an end without
+  // a matching start.
+  const bool timed = hist::enabled();
+  const std::uint64_t t0 = timed ? hist::now_ns() : 0;
   try {
     act.body();
   } catch (...) {
     fin_report_exception(rt_, act.fin, std::current_exception());
   }
-  trace::emit_at(place_, trace::Ev::kActivityEnd);
+  if (timed) hist_exec_.record(hist::now_ns() - t0);
+  trace::emit_at(place_, trace::Ev::kActivityEnd, act.span);
   detail::tl_activity = prev_act;
   detail::tl_open_finish = prev_open;
   activities_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -187,6 +195,9 @@ void Scheduler::consume_message(x10rt::Message& m) {
                  static_cast<std::uint64_t>(m.src));
   msgs_by_type_[static_cast<std::size_t>(m.type)]->fetch_add(
       1, std::memory_order_relaxed);
+  // Ship->execute latency: the sender stamped the message iff histograms
+  // were armed, so an unstamped message costs only this field test.
+  if (m.t_send_ns != 0) hist_ship_.record(hist::now_ns() - m.t_send_ns);
   m.run();
   messages_processed_.fetch_add(1, std::memory_order_relaxed);
 }

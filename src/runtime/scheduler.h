@@ -105,6 +105,10 @@ class Scheduler {
   [[nodiscard]] std::uint64_t overflow_drained() const {
     return overflow_drained_.load(std::memory_order_relaxed);
   }
+  /// Activities currently parked in the overflow inbox (watchdog diagnosis).
+  [[nodiscard]] std::size_t overflow_pending() const {
+    return overflow_size_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Everything one worker thread owns. Only the bound thread touches
@@ -151,6 +155,10 @@ class Scheduler {
   MetricsRegistry::Counter& overflow_drained_;
   // Messages processed by class, shared across places ("sched.msgs.CLASS").
   std::array<MetricsRegistry::Counter*, x10rt::kNumMsgTypes> msgs_by_type_{};
+  // Latency histograms (shared across places), resolved once: task
+  // ship->execute (from Message::t_send_ns) and activity body duration.
+  Histogram& hist_ship_;
+  Histogram& hist_exec_;
 };
 
 }  // namespace apgas

@@ -1,34 +1,56 @@
 #include "runtime/trace.h"
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
+#include <unordered_set>
 
 #include "runtime/runtime.h"
 #include "x10rt/message.h"
 
 namespace apgas::trace {
 
-const char* name(Ev e) {
-  switch (e) {
-    case Ev::kActivitySpawn: return "spawn";
-    case Ev::kActivityBegin: return "activity";
-    case Ev::kActivityEnd: return "activity";
-    case Ev::kFinishOpen: return "finish.open";
-    case Ev::kFinishClose: return "finish.close";
-    case Ev::kFinishUpgrade: return "finish.upgrade";
-    case Ev::kStealAttempt: return "glb.steal";
-    case Ev::kStealSuccess: return "glb.loot";
-    case Ev::kTeamBegin: return "team";
-    case Ev::kTeamEnd: return "team";
-    case Ev::kMsgSend: return "send";
-    case Ev::kMsgRecv: return "recv";
-    case Ev::kSchedSteal: return "sched.steal";
-    case Ev::kSchedOverflow: return "sched.overflow";
-    case Ev::kCoalesceFlush: return "coalesce.flush";
+namespace {
+
+// Indexed by Ev; order must mirror the enum. Aggregate initialization zero-
+// fills any tail entry a new Ev kind would leave behind, and the
+// static_assert below turns that nullptr into a compile error — an event
+// kind can no longer ship without a name.
+constexpr std::array<const char*, kNumEv> kEvNames = {
+    "activity.spawn",  // kActivitySpawn
+    "activity",        // kActivityBegin
+    "activity",        // kActivityEnd
+    "send",            // kMsgSend
+    "recv",            // kMsgRecv
+    "finish.open",     // kFinishOpen
+    "finish.close",    // kFinishClose
+    "finish.upgrade",  // kFinishUpgrade
+    "glb.steal",       // kStealAttempt
+    "glb.loot",        // kStealSuccess
+    "team",            // kTeamBegin
+    "team",            // kTeamEnd
+    "sched.steal",     // kSchedSteal
+    "sched.overflow",  // kSchedOverflow
+    "coalesce.flush",  // kCoalesceFlush
+};
+
+constexpr bool all_events_named() {
+  for (const char* n : kEvNames) {
+    if (n == nullptr) return false;
   }
-  return "?";
+  return true;
+}
+static_assert(all_events_named(),
+              "trace::Ev grew without a name — extend kEvNames in trace.cc");
+
+}  // namespace
+
+const char* name(Ev e) {
+  const auto i = static_cast<std::size_t>(e);
+  return i < kEvNames.size() ? kEvNames[i] : "?";
 }
 
 // --- Ring --------------------------------------------------------------------
@@ -40,13 +62,21 @@ void Ring::reset(std::size_t capacity) {
 
 void Ring::push(const Event& e) {
   const std::uint64_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
-  Slot& s = slots_[i % slots_.size()];
+  const std::size_t cap = slots_.size();
+  Slot& s = slots_[i % cap];
+  const std::uint64_t lap = i / cap;
+  // Seqlock write: claim (odd) -> fields -> publish (even). The stamps are
+  // derived from the lap so two writers a full lap apart can collide on the
+  // slot without ever producing a stamp that validates a torn read.
+  s.gen.store(2 * lap + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
   s.t.store(e.t_ns, std::memory_order_relaxed);
   s.meta.store((static_cast<std::uint64_t>(e.kind) << 32) |
                    static_cast<std::uint32_t>(e.place),
                std::memory_order_relaxed);
   s.a.store(e.a, std::memory_order_relaxed);
   s.b.store(e.b, std::memory_order_relaxed);
+  s.gen.store(2 * lap + 2, std::memory_order_release);
 }
 
 std::vector<Event> Ring::drain() const {
@@ -58,6 +88,11 @@ std::vector<Event> Ring::drain() const {
   out.reserve(stored);
   for (std::uint64_t i = first; i < n; ++i) {
     const Slot& s = slots_[i % cap];
+    // Accept the slot only if the publish stamp for *this* lap is observed
+    // both before and after the field reads — otherwise the slot is still
+    // in flight (claim stamp) or was overwritten by a later lap; drop it.
+    const std::uint64_t want = 2 * (i / cap) + 2;
+    if (s.gen.load(std::memory_order_acquire) != want) continue;
     Event e;
     e.t_ns = s.t.load(std::memory_order_relaxed);
     const std::uint64_t meta = s.meta.load(std::memory_order_relaxed);
@@ -65,6 +100,8 @@ std::vector<Event> Ring::drain() const {
     e.place = static_cast<std::int32_t>(meta & 0xffffffffu);
     e.a = s.a.load(std::memory_order_relaxed);
     e.b = s.b.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.gen.load(std::memory_order_relaxed) != want) continue;
     out.push_back(e);
   }
   return out;
@@ -154,45 +191,146 @@ std::uint64_t total_events() {
   return total;
 }
 
+std::vector<Event> recent(std::size_t k) {
+  Recorder* r = g_recorder.load(std::memory_order_acquire);
+  std::vector<Event> all;
+  if (r == nullptr) return all;
+  for (const auto& ring : r->rings) {
+    for (const Event& e : ring->drain()) all.push_back(e);
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Event& x, const Event& y) { return x.t_ns < y.t_ns; });
+  if (all.size() > k) all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(k));
+  return all;
+}
+
 std::string chrome_json() {
   Recorder* r = g_recorder.load(std::memory_order_acquire);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   if (r != nullptr) {
-    char buf[256];
-    for (const auto& ring : r->rings) {
-      for (const Event& e : ring->drain()) {
-        const char* ph = "i";
-        if (e.kind == Ev::kActivityBegin || e.kind == Ev::kTeamBegin) ph = "B";
-        if (e.kind == Ev::kActivityEnd || e.kind == Ev::kTeamEnd) ph = "E";
-        std::string nm;
-        // Message events get their class folded into the name so tracks are
-        // readable without expanding args.
-        if (e.kind == Ev::kMsgSend || e.kind == Ev::kMsgRecv) {
-          nm = std::string(name(e.kind)) + "." +
-               x10rt::msg_type_name(static_cast<x10rt::MsgType>(e.a));
-        } else {
-          nm = name(e.kind);
+    std::vector<std::vector<Event>> drained;
+    drained.reserve(r->rings.size());
+    for (const auto& ring : r->rings) drained.push_back(ring->drain());
+    // Pass 1: span ids whose spawn was remote. Only those get flow events —
+    // a local spawn/begin pair sits on one track already, and emitting a
+    // flow "f" with no matching "s" (spawn fell off the ring) would be
+    // rejected by the importer anyway.
+    std::unordered_set<std::uint64_t> remote_spawns;
+    for (const auto& evs : drained) {
+      for (const Event& e : evs) {
+        if (e.kind == Ev::kActivitySpawn && ((e.b >> 32) & 1u) != 0 &&
+            e.a != 0) {
+          remote_spawns.insert(e.a);
         }
-        if (!first) out.push_back(',');
-        first = false;
-        out += "{\"name\":\"";
-        json_escape_into(out, nm.c_str());
-        // ts is microseconds (Chrome's unit); keep ns precision as decimals.
-        std::snprintf(buf, sizeof(buf),
-                      "\",\"ph\":\"%s\",\"ts\":%" PRIu64 ".%03u,\"pid\":0,"
-                      "\"tid\":%d",
-                      ph, e.t_ns / 1000,
-                      static_cast<unsigned>(e.t_ns % 1000), e.place);
-        out += buf;
-        if (ph[0] != 'E') {  // "E" events need no args; keeps pairs balanced
-          std::snprintf(buf, sizeof(buf),
-                        ",\"args\":{\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}", e.a,
-                        e.b);
-          out += buf;
+      }
+    }
+    char buf[320];
+    // Shared "...,{"name":NM,"ph":PH,"ts":...,"pid":0,"tid":place" prefix;
+    // ts is microseconds (Chrome's unit) with ns precision as decimals.
+    auto header = [&](const char* nm, const char* ph, const Event& e) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"name\":\"";
+      json_escape_into(out, nm);
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"ph\":\"%s\",\"ts\":%" PRIu64 ".%03u,\"pid\":0,"
+                    "\"tid\":%d",
+                    ph, e.t_ns / 1000, static_cast<unsigned>(e.t_ns % 1000),
+                    e.place);
+      out += buf;
+    };
+    auto append = [&](const char* fmt, auto... vals) {
+      std::snprintf(buf, sizeof(buf), fmt, vals...);
+      out += buf;
+    };
+    for (const auto& evs : drained) {
+      for (const Event& e : evs) {
+        switch (e.kind) {
+          case Ev::kActivitySpawn: {
+            const auto dst = static_cast<std::uint64_t>(e.b & 0xffffffffu);
+            const auto remote = static_cast<unsigned>((e.b >> 32) & 1u);
+            header(name(e.kind), "i", e);
+            // Span ids exceed JSON's double-exact integer range; hex strings
+            // keep them grep-able against the begin event and the flow id.
+            append(",\"args\":{\"span\":\"0x%" PRIx64 "\",\"dst\":%" PRIu64
+                   ",\"remote\":%u},\"s\":\"t\"}",
+                   e.a, dst, remote);
+            if (remote != 0 && e.a != 0) {
+              // Flow start: binds to the enclosing slice (the spawning
+              // activity) on this track; the arrow lands on the matching
+              // activity.begin on the destination place.
+              header("activity.spawn", "s", e);
+              append(",\"cat\":\"flow\",\"id\":\"0x%" PRIx64 "\"}", e.a);
+            }
+            break;
+          }
+          case Ev::kActivityBegin: {
+            header(name(e.kind), "B", e);
+            append(",\"args\":{\"span\":\"0x%" PRIx64 "\",\"parent\":\"0x%"
+                   PRIx64 "\"}}",
+                   e.a, e.b);
+            if (e.a != 0 && remote_spawns.count(e.a) != 0) {
+              header("activity.spawn", "f", e);
+              append(",\"cat\":\"flow\",\"bp\":\"e\",\"id\":\"0x%" PRIx64
+                     "\"}",
+                     e.a);
+            }
+            break;
+          }
+          case Ev::kActivityEnd:
+          case Ev::kTeamEnd:
+            header(name(e.kind), "E", e);  // "E" needs no args; keeps pairs
+            out += "}";                    // balanced
+            break;
+          case Ev::kTeamBegin:
+            header(name(e.kind), "B", e);
+            append(",\"args\":{\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}}", e.a,
+                   e.b);
+            break;
+          case Ev::kFinishOpen:
+          case Ev::kFinishClose: {
+            // Async ("b"/"e") slice per finish: one track per id, paired by
+            // cat+id+name. The id folds home place and seq exactly like
+            // FinishKeyHash; the name carries the declared protocol.
+            const bool open = e.kind == Ev::kFinishOpen;
+            const std::string nm =
+                std::string("finish.") +
+                pragma_name(static_cast<Pragma>(e.b));
+            const std::uint64_t gid =
+                (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                     e.place))
+                 << 40) |
+                e.a;
+            header(nm.c_str(), open ? "b" : "e", e);
+            append(",\"cat\":\"finish\",\"id\":\"0x%" PRIx64 "\"", gid);
+            if (open) {
+              append(",\"args\":{\"seq\":%" PRIu64 ",\"pragma\":%" PRIu64 "}",
+                     e.a, e.b);
+            }
+            out += "}";
+            break;
+          }
+          case Ev::kMsgSend:
+          case Ev::kMsgRecv: {
+            // Message events get their class folded into the name so tracks
+            // are readable without expanding args.
+            const std::string nm =
+                std::string(name(e.kind)) + "." +
+                x10rt::msg_type_name(static_cast<x10rt::MsgType>(e.a));
+            header(nm.c_str(), "i", e);
+            append(",\"args\":{\"a\":%" PRIu64 ",\"b\":%" PRIu64
+                   "},\"s\":\"t\"}",
+                   e.a, e.b);
+            break;
+          }
+          default:
+            header(name(e.kind), "i", e);
+            append(",\"args\":{\"a\":%" PRIu64 ",\"b\":%" PRIu64
+                   "},\"s\":\"t\"}",
+                   e.a, e.b);
+            break;
         }
-        if (ph[0] == 'i') out += ",\"s\":\"t\"";
-        out += "}";
       }
     }
   }

@@ -11,10 +11,10 @@
 //     "external" ring for non-worker threads). When a ring wraps, the oldest
 //     events are overwritten — a flight recorder keeps the recent past.
 //   * Lock-free writers: a slot index is claimed with one relaxed fetch_add;
-//     slot fields are relaxed 64-bit atomics, so concurrent writers are
-//     data-race-free even when a lapped writer lands on a slot being read.
-//     (A full-lap collision can interleave fields of two events; exporters
-//     tolerate that. It cannot corrupt memory.)
+//     slot fields are 64-bit atomics guarded by a per-slot seqlock-style
+//     generation stamp (claim = odd, publish = even), so readers detect a
+//     slot that is mid-write or has been lapped and drop it instead of
+//     exporting interleaved fields of two events.
 //   * Near-zero cost when disabled: every emit site is an inline check of
 //     one relaxed atomic bool; no arguments are evaluated beyond the enum.
 //
@@ -33,9 +33,9 @@ namespace apgas::trace {
 /// Event kinds recorded by the runtime. Schema (the meaning of args a/b) is
 /// documented per-kind in docs/observability.md and in name().
 enum class Ev : std::uint8_t {
-  kActivitySpawn,    // a = destination place, b = 1 if remote (asyncAt)
-  kActivityBegin,    // activity body starts on a worker
-  kActivityEnd,      // activity body finished (completion accounting follows)
+  kActivitySpawn,    // a = span id, b = remote<<32 | destination place
+  kActivityBegin,    // body starts; a = span id, b = parent span id
+  kActivityEnd,      // body finished; a = span id
   kMsgSend,          // a = x10rt::MsgType, b = destination place
   kMsgRecv,          // a = x10rt::MsgType, b = source place
   kFinishOpen,       // a = finish seq, b = pragma
@@ -48,8 +48,9 @@ enum class Ev : std::uint8_t {
   kSchedSteal,       // intra-place deque steal; a = thief worker, b = victim
   kSchedOverflow,    // overflow-inbox drain; a = draining worker (-1 = ext)
   kCoalesceFlush,    // envelope shipped; a = records, b = reason<<32 | dst
+  kCount_,           // sentinel — keep last; name() is static_asserted to it
 };
-inline constexpr int kNumEv = 15;
+inline constexpr int kNumEv = static_cast<int>(Ev::kCount_);
 
 /// Stable lowercase event name (used by the exporters and docs).
 const char* name(Ev e);
@@ -79,12 +80,20 @@ class Ring {
   }
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
-  /// Snapshot of retained events, oldest first. Intended for quiescent
-  /// export; concurrent pushes cannot crash it but may tear an event.
+  /// Snapshot of retained events, oldest first. Safe against concurrent
+  /// pushes: each slot's generation stamp is checked before and after the
+  /// field reads, so an event that is mid-write (or lapped during the read)
+  /// is dropped rather than returned torn.
   [[nodiscard]] std::vector<Event> drain() const;
 
  private:
   struct Slot {
+    // Seqlock stamp: a writer on lap L stores 2L+1 (claim) before the fields
+    // and 2L+2 (publish) after. Readers expecting lap L accept the slot only
+    // if they observe 2L+2 both before and after reading the fields —
+    // deriving the stamp from the lap (rather than ++) keeps it well-formed
+    // even when two lapped writers collide on the slot.
+    std::atomic<std::uint64_t> gen{0};
     std::atomic<std::uint64_t> t{0};
     std::atomic<std::uint64_t> meta{0};  // kind << 32 | uint32(place)
     std::atomic<std::uint64_t> a{0};
@@ -134,9 +143,17 @@ bool active();
 /// Sum of written() across rings (0 when inactive or disabled).
 std::uint64_t total_events();
 
+/// The `k` most recent retained events across all rings, oldest first
+/// (merged by timestamp). Used by the stall watchdog's diagnosis dump.
+std::vector<Event> recent(std::size_t k);
+
 /// Serializes every retained event as Chrome trace_event JSON (the format
 /// chrome://tracing, Perfetto, and speedscope load). pid 0, tid = place;
-/// activity begin/end become "B"/"E" duration events, the rest instants.
+/// activity begin/end become "B"/"E" duration events; remote spawns add
+/// "s"/"f" flow events (arrows from activity.spawn on the source place to
+/// the matching activity.begin, keyed by span id); finish open/close become
+/// "b"/"e" async slices on a per-finish track (id = home<<40 | seq); the
+/// rest are instants.
 std::string chrome_json();
 
 /// Writes chrome_json() to `path`. Returns false (and keeps quiet beyond a

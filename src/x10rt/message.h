@@ -45,6 +45,11 @@ struct Message {
   MsgType type = MsgType::kOther;
   std::size_t bytes = 0;
   int src = -1;
+  // Monotonic send-time stamp (0 = unstamped). The runtime stamps task
+  // shipments when latency histograms are armed and the receiving scheduler
+  // turns the delta into ship->execute latency; the transport itself never
+  // reads it.
+  std::uint64_t t_send_ns = 0;
 };
 
 }  // namespace x10rt

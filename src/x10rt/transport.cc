@@ -2,11 +2,21 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <tuple>
 #include <utility>
 
 namespace x10rt {
+
+namespace {
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 Transport::Transport(TransportConfig cfg)
     : cfg_(cfg), ranges_(static_cast<std::size_t>(cfg.places)) {
@@ -19,6 +29,7 @@ Transport::Transport(TransportConfig cfg)
     inboxes_.push_back(std::move(box));
     auto shard = std::make_unique<CoalesceShard>();
     shard->per_dst.resize(static_cast<std::size_t>(cfg_.places));
+    shard->open_ns.resize(static_cast<std::size_t>(cfg_.places), 0);
     coalesce_.push_back(std::move(shard));
   }
   if (cfg_.count_pairs) {
@@ -308,6 +319,7 @@ void Transport::send_am(int src, int dst, int handler, ByteBuffer payload,
     count_logical(src, dst, type, wire);
     ByteBuffer ready;
     std::uint32_t ready_records = 0;
+    std::uint64_t ready_open_ns = 0;
     FlushReason reason = FlushReason::kSize;
     bool ship = false;
     std::vector<std::vector<std::byte>> recycle;
@@ -327,6 +339,7 @@ void Transport::send_am(int src, int dst, int handler, ByteBuffer payload,
           w.open(pool_.acquire());
         }
         shard.active.push_back(dst);
+        shard.open_ns[static_cast<std::size_t>(dst)] = mono_ns();
       }
       w.append(handler, payload);
       // The payload was copied into the envelope; park its storage in the
@@ -347,12 +360,17 @@ void Transport::send_am(int src, int dst, int handler, ByteBuffer payload,
       if (ship) {
         ready_records = w.records();
         ready = w.close();
+        ready_open_ns = shard.open_ns[static_cast<std::size_t>(dst)];
+        shard.open_ns[static_cast<std::size_t>(dst)] = 0;
         shard.active.erase(
             std::find(shard.active.begin(), shard.active.end(), dst));
       }
     }
     if (!recycle.empty()) pool_.release_batch(std::move(recycle));
-    if (ship) ship_envelope(src, dst, std::move(ready), ready_records, reason);
+    if (ship) {
+      ship_envelope(src, dst, std::move(ready), ready_records, reason,
+                    ready_open_ns);
+    }
     return;
   }
   if (coalescing_enabled()) {
@@ -372,13 +390,23 @@ void Transport::send_am(int src, int dst, int handler, ByteBuffer payload,
 }
 
 void Transport::ship_envelope(int src, int dst, ByteBuffer env,
-                              std::uint32_t records, FlushReason reason) {
+                              std::uint32_t records, FlushReason reason,
+                              std::uint64_t open_ns) {
   coalesce_envelopes_.fetch_add(1, std::memory_order_relaxed);
   coalesce_records_.fetch_add(records, std::memory_order_relaxed);
   coalesce_wire_bytes_.fetch_add(env.size(), std::memory_order_relaxed);
   coalesce_flush_counts_[static_cast<std::size_t>(reason)].fetch_add(
       1, std::memory_order_relaxed);
-  if (cfg_.flush_hook) cfg_.flush_hook(src, dst, records, reason);
+  if (cfg_.flush_hook) {
+    // Clamp a stamped residency to >= 1ns so "envelope count by nonzero
+    // residency" holds even if the clock did not tick between open and ship.
+    std::uint64_t residency = 0;
+    if (open_ns != 0) {
+      const std::uint64_t now = mono_ns();
+      residency = now > open_ns ? now - open_ns : 1;
+    }
+    cfg_.flush_hook(src, dst, records, reason, residency);
+  }
   Message m;
   m.src = src;
   m.type = MsgType::kControl;
@@ -423,7 +451,7 @@ std::size_t Transport::flush_coalesced(int src, FlushReason reason) {
   // Seal everything under the shard lock, ship outside it: ship_envelope
   // takes the destination inbox mutex and runs the flush hook, neither of
   // which belongs in the shard critical section.
-  std::vector<std::tuple<int, ByteBuffer, std::uint32_t>> ready;
+  std::vector<std::tuple<int, ByteBuffer, std::uint32_t, std::uint64_t>> ready;
   std::vector<std::vector<std::byte>> recycle;
   {
     std::scoped_lock lock(shard.mu);
@@ -436,14 +464,16 @@ std::size_t Transport::flush_coalesced(int src, FlushReason reason) {
         auto& w = shard.per_dst[static_cast<std::size_t>(dst)];
         assert(w.is_open() && w.records() > 0);
         const std::uint32_t n = w.records();
-        ready.emplace_back(dst, w.close(), n);
+        ready.emplace_back(dst, w.close(), n,
+                           shard.open_ns[static_cast<std::size_t>(dst)]);
+        shard.open_ns[static_cast<std::size_t>(dst)] = 0;
       }
       shard.active.clear();
     }
   }
   if (!recycle.empty()) pool_.release_batch(std::move(recycle));
-  for (auto& [dst, env, n] : ready) {
-    ship_envelope(src, dst, std::move(env), n, reason);
+  for (auto& [dst, env, n, opened] : ready) {
+    ship_envelope(src, dst, std::move(env), n, reason, opened);
   }
   return ready.size();
 }
@@ -498,6 +528,20 @@ int Transport::max_ctrl_out_degree() const {
     max_deg = std::max(max_deg, deg);
   }
   return max_deg;
+}
+
+std::size_t Transport::inbox_depth(int place) const {
+  if (place < 0 || place >= cfg_.places) return 0;
+  Inbox& box = *inboxes_[static_cast<std::size_t>(place)];
+  std::scoped_lock lock(box.mu);
+  return box.queue.size() + box.delayed.size();
+}
+
+std::size_t Transport::coalesce_open_envelopes(int src) const {
+  if (!coalescing_enabled() || src < 0 || src >= cfg_.places) return 0;
+  CoalesceShard& shard = *coalesce_[static_cast<std::size_t>(src)];
+  std::scoped_lock lock(shard.mu);
+  return shard.active.size();
 }
 
 void Transport::reset_stats() {

@@ -92,9 +92,13 @@ struct TransportConfig {
   /// Max records per envelope when coalescing is on.
   int coalesce_msgs = 64;
   /// Observability callback invoked once per shipped envelope (the runtime
-  /// wires this to the flight recorder's coalesce.flush event; the transport
-  /// itself must stay runtime-agnostic).
-  std::function<void(int src, int dst, std::uint32_t records, FlushReason)>
+  /// wires this to the flight recorder's coalesce.flush event and the
+  /// envelope-residency histogram; the transport itself must stay
+  /// runtime-agnostic). `residency_ns` is the open->flush dwell time of the
+  /// envelope, clamped to >= 1 so hooked consumers can count envelopes by
+  /// counting nonzero residencies.
+  std::function<void(int src, int dst, std::uint32_t records, FlushReason,
+                     std::uint64_t residency_ns)>
       flush_hook;
 };
 
@@ -270,6 +274,16 @@ class Transport {
         std::memory_order_relaxed);
   }
 
+  // --- Introspection (stall watchdog diagnosis) ----------------------------
+
+  /// Messages currently parked in `place`'s inbox (queued + chaos-delayed).
+  /// Takes the inbox lock; diagnosis-path only, not for hot paths.
+  [[nodiscard]] std::size_t inbox_depth(int place) const;
+
+  /// Destinations with an open (partial, unshipped) envelope at source
+  /// `src`. 0 when coalescing is off. Takes the shard lock.
+  [[nodiscard]] std::size_t coalesce_open_envelopes(int src) const;
+
   void reset_stats();
 
  private:
@@ -325,6 +339,10 @@ class Transport {
     SpinLock mu;
     std::vector<envelope::Writer> per_dst;
     std::vector<int> active;
+    // Monotonic stamp of when the open envelope for each destination was
+    // opened (0 = no open envelope); ship_envelope turns it into the
+    // residency reported through flush_hook.
+    std::vector<std::uint64_t> open_ns;
     // Payload storage taken back after a record is copied into an envelope,
     // parked here (we already hold `mu`) and recycled to the BufferPool in
     // one batch per shipped envelope — per-envelope freelist locking instead
@@ -343,8 +361,10 @@ class Transport {
   /// not double-counted.
   void send_unrecorded(int dst, Message m);
   /// Accounts a sealed envelope, fires cfg_.flush_hook, and enqueues it.
+  /// `open_ns` is the CoalesceShard::open_ns stamp taken when the envelope
+  /// was opened (0 = unknown, reports residency 0).
   void ship_envelope(int src, int dst, ByteBuffer env, std::uint32_t records,
-                     FlushReason reason);
+                     FlushReason reason, std::uint64_t open_ns);
   /// Receiver side: unpack an envelope and run each record's AM handler.
   void deliver_envelope(ByteBuffer env);
   void submit_dma(DmaOp op, MsgType completion_type);

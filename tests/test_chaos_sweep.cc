@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -40,7 +41,41 @@ Config chaos_cfg(int places, std::uint64_t seed, int places_per_node = 8) {
   cfg.places_per_node = places_per_node;
   cfg.chaos.delay_prob = 0.3;
   cfg.chaos.seed = seed;
+  // Histograms stay armed for the whole sweep: the structural invariants
+  // below tie histogram *counts* to the protocol counters.
+  cfg.histograms = true;
+  // CI's traced iteration points these at artifact paths; locally they are
+  // unset and the sweep runs silent. Each run overwrites the files — the
+  // artifact is "one representative chaos run", not the full sweep.
+  if (const char* p = std::getenv("APGAS_TRACE")) {
+    cfg.trace = true;
+    cfg.trace_path = p;
+  }
+  if (const char* p = std::getenv("APGAS_METRICS")) cfg.metrics_path = p;
   return cfg;
+}
+
+/// Sum of one key across the finish protocols ("hist.finish.close_ns.auto.
+/// count" + ... for every pragma name).
+std::uint64_t sum_close_counts(const std::map<std::string, std::uint64_t>& m) {
+  std::uint64_t total = 0;
+  for (int p = 0; p < kNumPragmas; ++p) {
+    const std::string key = std::string("hist.finish.close_ns.") +
+                            pragma_name(static_cast<Pragma>(p)) + ".count";
+    auto it = m.find(key);
+    if (it != m.end()) total += it->second;
+  }
+  return total;
+}
+
+/// Sum of sched.pN.activities_executed over all places.
+std::uint64_t sum_activities(const std::map<std::string, std::uint64_t>& m,
+                             int places) {
+  std::uint64_t total = 0;
+  for (int p = 0; p < places; ++p) {
+    total += m.at("sched.p" + std::to_string(p) + ".activities_executed");
+  }
+  return total;
 }
 
 /// The protocol-structure counters that chaos must not change. Timing-driven
@@ -96,7 +131,19 @@ void sweep(int places, Job job, int places_per_node = 8) {
       // once (tasks are never coalesced, so this holds in both modes).
       EXPECT_EQ(m.at("runtime.tasks_shipped"), m.at("sched.msgs.task"));
       EXPECT_EQ(m.at("runtime.tasks_shipped"), m.at("transport.msgs.task"));
+      // Histogram counts are structural too: with histograms armed for the
+      // whole run, every protocol event must have produced exactly one
+      // latency sample — a count mismatch means a recording site is gated
+      // differently from its counter twin.
+      EXPECT_EQ(m.at("finish.closed"), m.at("finish.opened"));
+      EXPECT_EQ(sum_close_counts(m), m.at("finish.opened"));
+      EXPECT_EQ(m.at("hist.task.ship_ns.count"),
+                m.at("runtime.tasks_shipped"));
+      EXPECT_EQ(m.at("hist.activity.exec_ns.count"),
+                sum_activities(m, places));
       if (coalesce) {
+        EXPECT_EQ(m.at("hist.envelope.residency_ns.count"),
+                  m.at("transport.coalesce.envelopes"));
         // Envelope conservation: the flush-reason histogram accounts for
         // every envelope, and no envelope ships empty. (The per-reason
         // split itself is timing-dependent — not asserted.)

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -123,7 +124,41 @@ TEST(FlightRecorderRing, ConcurrentWrappingWritersStayBounded) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(ring.written(), kThreads * kPerThread);
-  EXPECT_EQ(ring.drain().size(), 64u);
+  const auto events = ring.drain();
+  EXPECT_LE(events.size(), 64u);
+  // The per-slot generation stamp guarantees drained events are never torn:
+  // every event we wrote had t_ns == a, so any mix of fields from two
+  // different pushes would fail this check.
+  for (const auto& e : events) {
+    EXPECT_EQ(e.t_ns, e.a);
+    EXPECT_EQ(e.kind, Ev::kStealAttempt);
+    ASSERT_GE(e.place, 0);
+    ASSERT_LT(e.place, kThreads);
+  }
+}
+
+TEST(FlightRecorderRing, DrainUnderConcurrentWritesYieldsOnlyIntactEvents) {
+  // Readers racing writers on a wrapping ring: the seqlock stamp must make
+  // drain() drop in-flight slots rather than return torn field mixes.
+  Ring ring(32);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ring.push(ev(/*t=*/i, Ev::kMsgSend, /*place=*/1, /*a=*/i, /*b=*/~i));
+      ++i;
+    }
+  });
+  for (int round = 0; round < 200; ++round) {
+    for (const auto& e : ring.drain()) {
+      ASSERT_EQ(e.t_ns, e.a);
+      ASSERT_EQ(e.b, ~e.a);  // fields of one event stayed together
+      ASSERT_EQ(e.kind, Ev::kMsgSend);
+      ASSERT_EQ(e.place, 1);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
 }
 
 // --- enable/disable gating -------------------------------------------------
@@ -278,6 +313,57 @@ TEST(FlightRecorderExport, ChromeJsonIsValidAndComplete) {
   EXPECT_NE(json.find("\"team\""), std::string::npos);
 }
 
+TEST(FlightRecorderExport, RemoteSpawnEmitsFlowArrow) {
+  apgas::trace::init(/*places=*/2, 64, true);
+  const std::uint64_t span = (0ull << 48) | 7;  // place 0, counter 7
+  const std::uint64_t parent = 0;
+  // Remote spawn at place 0 targeting place 1 (bit 32 marks remote)...
+  apgas::trace::emit_at(0, Ev::kActivitySpawn, span, (1ull << 32) | 1u);
+  // ...and the matching execution at place 1.
+  apgas::trace::emit_at(1, Ev::kActivityBegin, span, parent);
+  apgas::trace::emit_at(1, Ev::kActivityEnd, span);
+  // A local spawn (no bit 32) must NOT produce flow events.
+  apgas::trace::emit_at(1, Ev::kActivitySpawn, span + 1, 1u);
+  const std::string json = apgas::trace::chrome_json();
+  apgas::trace::shutdown();
+
+  EXPECT_TRUE(JsonCursor(json).parse()) << json;
+  // Flow start on the spawning place, flow finish bound to the begin slice.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"0x7\""), std::string::npos);  // span id as hex string
+  // Exactly one s/f pair: the local spawn contributed none.
+  auto count = [&json](const char* needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("\"ph\":\"s\""), 1u);
+  EXPECT_EQ(count("\"ph\":\"f\""), 1u);
+}
+
+TEST(FlightRecorderExport, FinishOpenCloseBecomeAsyncSlices) {
+  apgas::trace::init(/*places=*/1, 64, true);
+  using apgas::Pragma;
+  apgas::trace::emit_at(0, Ev::kFinishOpen, /*seq=*/5,
+                        static_cast<std::uint64_t>(Pragma::kDefault));
+  apgas::trace::emit_at(0, Ev::kFinishClose, /*seq=*/5,
+                        static_cast<std::uint64_t>(Pragma::kDefault));
+  const std::string json = apgas::trace::chrome_json();
+  apgas::trace::shutdown();
+
+  EXPECT_TRUE(JsonCursor(json).parse()) << json;
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos) << json;
+  EXPECT_NE(json.find("finish.default"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"finish\""), std::string::npos);
+}
+
 TEST(FlightRecorderExport, EmptyTraceIsStillValidJson) {
   apgas::trace::init(1, 16, true);
   const std::string json = apgas::trace::chrome_json();
@@ -305,8 +391,14 @@ TEST(FlightRecorderExport, RuntimeRunWritesValidTraceFile) {
   buf << in.rdbuf();
   const std::string json = buf.str();
   EXPECT_TRUE(JsonCursor(json).parse());
-  EXPECT_NE(json.find("finish.open"), std::string::npos);
+  // Finish open/close export as async duration slices named by protocol.
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("finish."), std::string::npos);
   EXPECT_NE(json.find("activity"), std::string::npos);
+  // Cross-place asyncs produce Perfetto flow arrows (spawn -> begin).
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
   // The registry mirrored the recorder's volume before teardown.
   const auto& metrics = apgas::last_run_metrics();
   auto it = metrics.find("trace.events");

@@ -1,0 +1,172 @@
+// Histogram unit tests (ISSUE satellite d): log-linear bucket boundary
+// exactness, percentile monotonicity, and concurrent recording summing — the
+// properties the chaos sweep's structural invariants lean on.
+#include "runtime/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using apgas::Histogram;
+
+// --- bucket geometry -------------------------------------------------------
+
+TEST(HistogramBuckets, ValuesBelowSubAreExact) {
+  // Unit buckets: every value below kSub (128) has its own bucket, so the
+  // floor of its bucket IS the value — percentiles down there are exact.
+  for (std::uint64_t v = 0; v < Histogram::kSub; ++v) {
+    const std::size_t idx = Histogram::bucket_of(v);
+    EXPECT_EQ(idx, v);
+    EXPECT_EQ(Histogram::bucket_floor(idx), v);
+    EXPECT_EQ(Histogram::bucket_width(idx), 1u);
+  }
+}
+
+TEST(HistogramBuckets, FloorAndWidthTileTheRange) {
+  // Every bucket's [floor, floor + width) half-open range must butt exactly
+  // against its successor's floor: no value falls between buckets and none is
+  // claimed twice.
+  for (std::size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_floor(i) + Histogram::bucket_width(i),
+              Histogram::bucket_floor(i + 1))
+        << "gap/overlap at bucket " << i;
+  }
+}
+
+TEST(HistogramBuckets, BucketOfIsInverseOfFloor) {
+  // For each bucket: its floor, and its last value (floor + width - 1), both
+  // map back to it — the boundaries are exact, not approximate.
+  for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    const std::uint64_t lo = Histogram::bucket_floor(i);
+    const std::uint64_t hi = lo + Histogram::bucket_width(i) - 1;
+    EXPECT_EQ(Histogram::bucket_of(lo), i);
+    EXPECT_EQ(Histogram::bucket_of(hi), i);
+    if (i + 1 < Histogram::kNumBuckets) {
+      EXPECT_EQ(Histogram::bucket_of(hi + 1), i + 1);
+    }
+  }
+}
+
+TEST(HistogramBuckets, PowerOfTwoBoundariesAreBucketFloors) {
+  // Powers of two are where log-linear grouping changes resolution; each must
+  // start its own bucket exactly.
+  for (int p = Histogram::kSubBits; p < 63; ++p) {
+    const std::uint64_t v = 1ull << p;
+    EXPECT_EQ(Histogram::bucket_floor(Histogram::bucket_of(v)), v);
+  }
+}
+
+TEST(HistogramBuckets, RelativeErrorStaysUnderTwoPercent) {
+  // The design contract: ~2 significant digits, i.e. bucket width / floor
+  // bounded by 2/kSub everywhere above the exact range.
+  for (std::size_t i = Histogram::kSub; i < Histogram::kNumBuckets; ++i) {
+    const double err = static_cast<double>(Histogram::bucket_width(i)) /
+                       static_cast<double>(Histogram::bucket_floor(i));
+    EXPECT_LE(err, 2.0 / static_cast<double>(Histogram::kSub))
+        << "bucket " << i;
+  }
+}
+
+TEST(HistogramBuckets, MaxValueMapsInRange) {
+  EXPECT_LT(Histogram::bucket_of(~0ull), Histogram::kNumBuckets);
+}
+
+// --- recording and percentiles ---------------------------------------------
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p99, 0u);
+}
+
+TEST(Histogram, ExactPercentilesBelowSub) {
+  // 1..100 recorded once each: percentiles are exact order statistics.
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.percentile(0.50), 50u);
+  EXPECT_EQ(h.percentile(0.90), 90u);
+  EXPECT_EQ(h.percentile(0.99), 99u);
+  EXPECT_EQ(h.percentile(1.00), 100u);
+}
+
+TEST(Histogram, PercentileMonotonicity) {
+  // p(q) must be non-decreasing in q for any recorded distribution — here a
+  // spread crossing several log-linear groups.
+  Histogram h;
+  std::uint64_t v = 3;
+  for (int i = 0; i < 5000; ++i) {
+    h.record(v % 2'000'000);
+    v = v * 2862933555777941757ull + 3037000493ull;  // cheap LCG
+  }
+  std::uint64_t prev = 0;
+  for (double q = 0.01; q <= 1.0; q += 0.01) {
+    const std::uint64_t p = h.percentile(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+  EXPECT_LE(prev, h.max());
+}
+
+TEST(Histogram, PercentileUndershootBounded) {
+  // A single large value: every percentile reports its bucket floor, which
+  // undershoots the true value by under 1.6%.
+  Histogram h;
+  const std::uint64_t v = 123'456'789;
+  h.record(v);
+  const std::uint64_t p = h.percentile(0.5);
+  EXPECT_LE(p, v);
+  EXPECT_GE(p, v - v / 64);  // 2/kSub = 1/64 relative width
+  EXPECT_EQ(h.max(), v);     // max is exact regardless of bucketing
+}
+
+TEST(Histogram, ConcurrentRecordingSums) {
+  // N threads record disjoint value sets; afterwards count and sum must be
+  // exact and every per-bucket tally intact (relaxed atomics, no locks).
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::uint64_t n = kThreads * kPerThread;
+  EXPECT_EQ(h.count(), n);
+  EXPECT_EQ(h.sum(), n * (n - 1) / 2);
+  EXPECT_EQ(h.max(), n - 1);
+  // The percentile walk sees the same total as the count.
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, n);
+  EXPECT_GT(s.p50, 0u);
+  EXPECT_GE(s.p90, s.p50);
+  EXPECT_GE(s.p99, s.p90);
+  EXPECT_GE(s.max, s.p99);
+}
+
+TEST(HistogramGate, EnabledFlagTogglesAndReads) {
+  apgas::hist::set_enabled(true);
+  EXPECT_TRUE(apgas::hist::enabled());
+  apgas::hist::set_enabled(false);
+  EXPECT_FALSE(apgas::hist::enabled());
+  const std::uint64_t a = apgas::hist::now_ns();
+  const std::uint64_t b = apgas::hist::now_ns();
+  EXPECT_GE(b, a);  // monotone clock
+}
+
+}  // namespace

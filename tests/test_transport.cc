@@ -375,9 +375,13 @@ TEST(TransportCoalesce, PairCountsTallyLogicalRecords) {
 TEST(TransportCoalesce, FlushHookReportsEveryEnvelope) {
   TransportConfig cfg = coalesce_cfg(2, 1u << 12, 2);
   std::vector<std::tuple<int, int, std::uint32_t, x10rt::FlushReason>> hooks;
-  cfg.flush_hook = [&hooks](int src, int dst, std::uint32_t records,
-                            x10rt::FlushReason reason) {
+  std::vector<std::uint64_t> residencies;
+  cfg.flush_hook = [&hooks, &residencies](int src, int dst,
+                                          std::uint32_t records,
+                                          x10rt::FlushReason reason,
+                                          std::uint64_t residency_ns) {
     hooks.emplace_back(src, dst, records, reason);
+    residencies.push_back(residency_ns);
   };
   Transport tr(cfg);
   const int h = tr.register_am([](x10rt::ByteBuffer&) {});
@@ -386,6 +390,11 @@ TEST(TransportCoalesce, FlushHookReportsEveryEnvelope) {
   ASSERT_EQ(hooks.size(), 2u);
   EXPECT_EQ(hooks[0], std::make_tuple(0, 1, 2u, x10rt::FlushReason::kCount));
   EXPECT_EQ(hooks[1], std::make_tuple(0, 1, 1u, x10rt::FlushReason::kQuiesce));
+  // Residency is clamped to >= 1ns for stamped envelopes so consumers can
+  // count envelopes by nonzero residencies.
+  ASSERT_EQ(residencies.size(), 2u);
+  EXPECT_GE(residencies[0], 1u);
+  EXPECT_GE(residencies[1], 1u);
 }
 
 TEST(TransportCoalesce, ChaosDeliversEveryCoalescedRecord) {
