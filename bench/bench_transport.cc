@@ -9,6 +9,10 @@
 //   (b) echo     — request/response pairs (the pattern finish control
 //                  traffic follows), direct vs coalesced with an explicit
 //                  idle-style flush after each burst.
+//   (c) reliability — the same flood with the ack/retransmit sublayer
+//                  armed: lossless (pure sublayer overhead: stamping,
+//                  dedup bookkeeping, piggyback acks) and under 5% drop +
+//                  2% dup chaos (what loss actually costs end to end).
 // Writes machine-readable JSON (BENCH_coalescing.json, override with
 // APGAS_BENCH_OUT). The committed BENCH_coalescing.json additionally carries
 // the before/after kernel rows (bench_finish / bench_uts /
@@ -133,6 +137,66 @@ void run_echo(bool coalesce, int pairs, FloodResult& r) {
   }
 }
 
+/// One rep of (c): the flood of (a) with the reliability sublayer armed.
+/// The sender drains both places every window of sends, the way the
+/// scheduler's poll loop interleaves with injection — a fire-everything-
+/// then-recover shape would stall the cumulative ack at the first dropped
+/// sequence and measure a retransmit storm of its own making instead of
+/// the protocol. Timeout is sized so only real drops retransmit (a window
+/// is ~ms of wall time). The tail is recovered with the ack-first force-
+/// pump loop `finalize_observability` runs, inside the timed region: the
+/// recovery latency is the honest cost of loss.
+void run_retx_flood(bool lossy, int n, FloodResult& r) {
+  x10rt::TransportConfig tc;
+  tc.places = 2;
+  tc.dma_threads = 0;
+  tc.retx_timeout_us = 20'000;
+  if (lossy) {
+    tc.chaos.drop_prob = 0.05;
+    tc.chaos.dup_prob = 0.02;
+  }
+  x10rt::Transport tr(tc);
+  long received = 0;
+  tr.register_am([&received](x10rt::ByteBuffer&) { ++received; });
+  std::deque<x10rt::Message> batch;
+  auto drain = [&tr, &batch](int place) {
+    while (tr.poll_batch(place, batch, 64) > 0) {
+      while (!batch.empty()) {
+        batch.front().run();
+        batch.pop_front();
+      }
+    }
+  };
+  const double t0 = now_secs();
+  for (int i = 0; i < n; ++i) {
+    x10rt::ByteBuffer b = tr.acquire_buffer();
+    b.put(static_cast<std::uint64_t>(i));
+    tr.send_am(0, 1, 0, std::move(b));
+    if ((i + 1) % 2048 == 0) {
+      drain(1);
+      tr.retx_pump(1, /*force=*/true);  // ship ack debt without the idle wait
+      drain(0);  // process acks; timer pump retransmits real drops
+    }
+  }
+  drain(1);
+  for (;;) {
+    // Ack side first: let place 0 process place 1's acks *before* any
+    // force pump of the sender, or retained-but-delivered messages whose
+    // ack is merely in flight would retransmit as a burst.
+    tr.retx_pump(1, /*force=*/true);
+    drain(0);
+    if (tr.retx_quiescent()) break;
+    tr.retx_pump(0, /*force=*/true);
+    drain(1);
+  }
+  const double secs = now_secs() - t0;
+  if (received != n) {
+    std::fprintf(stderr, "retx flood lost messages: %ld != %d\n", received, n);
+    std::exit(1);
+  }
+  r.secs = std::min(r.secs, secs);
+}
+
 void print_rows(const std::vector<FloodResult>& rows) {
   bench::row("%12s %10s %10s %14s %12s", "mode", "msgs", "secs", "msgs/s",
              "recs/env");
@@ -177,14 +241,24 @@ int main() {
     r.msgs = kMsgs;
     r.secs = 1e30;
   }
+  std::vector<FloodResult> retx(2);
+  retx[0].mode = "retx";
+  retx[1].mode = "retx+loss";
+  for (auto& r : retx) {
+    r.msgs = kMsgs;
+    r.secs = 1e30;
+  }
   for (int rep = 0; rep < kReps; ++rep) {
     run_flood(false, kMsgs, flood[0]);
     run_flood(true, kMsgs, flood[1]);
     run_echo(false, kMsgs / 2, echo[0]);
     run_echo(true, kMsgs / 2, echo[1]);
+    run_retx_flood(false, kMsgs, retx[0]);
+    run_retx_flood(true, kMsgs, retx[1]);
   }
   for (auto& r : flood) r.msgs_per_sec = static_cast<double>(r.msgs) / r.secs;
   for (auto& r : echo) r.msgs_per_sec = static_cast<double>(r.msgs) / r.secs;
+  for (auto& r : retx) r.msgs_per_sec = static_cast<double>(r.msgs) / r.secs;
 
   bench::header("transport — small-AM flood (coalescing off vs on)");
   print_rows(flood);
@@ -195,6 +269,12 @@ int main() {
   print_rows(echo);
   bench::row("%12s %.2fx", "speedup",
              echo[1].msgs_per_sec / echo[0].msgs_per_sec);
+
+  bench::header("transport — flood with reliability sublayer (vs direct)");
+  print_rows(retx);
+  bench::row("%12s %.2fx overhead (lossless), %.2fx (5%% drop + 2%% dup)",
+             "retx cost", flood[0].msgs_per_sec / retx[0].msgs_per_sec,
+             flood[0].msgs_per_sec / retx[1].msgs_per_sec);
 
   const char* out = std::getenv("APGAS_BENCH_OUT");
   const std::string path = out != nullptr ? out : "BENCH_coalescing.json";
@@ -207,6 +287,8 @@ int main() {
   json_rows(f, flood);
   std::fprintf(f, "  ],\n  \"echo\": [\n");
   json_rows(f, echo);
+  std::fprintf(f, "  ],\n  \"reliability\": [\n");
+  json_rows(f, retx);
   std::fprintf(f, "  ],\n  \"flood_speedup\": %.2f\n}\n", speedup);
   std::fclose(f);
   std::printf("\n[wrote %s]\n", path.c_str());

@@ -46,6 +46,20 @@ struct Config {
   /// Max records parked per coalescing envelope before a forced flush.
   int coalesce_msgs = 64;
 
+  /// Reliability sublayer: initial retransmit timeout in microseconds
+  /// (docs/transport.md "Reliability"). 0 disables the layer — the default,
+  /// so sends are zero-cost passthroughs with wire behavior bit-for-bit
+  /// identical to pre-ISSUE-5. Must be > 0 whenever chaos drop_prob or
+  /// dup_prob is (the transport aborts otherwise).
+  std::uint64_t retx_timeout_us = 0;
+
+  /// Cap on the per-entry exponential retransmit backoff (microseconds).
+  std::uint64_t retx_backoff_max_us = 50'000;
+
+  /// Standalone-ack idle threshold: a receiver owing an ack with no reverse
+  /// traffic to piggyback on sends one after this many microseconds.
+  std::uint64_t retx_ack_idle_us = 200;
+
   /// Bytes reserved per place for the congruent (registered, symmetric)
   /// allocator arena.
   std::size_t congruent_bytes = 16u << 20;
@@ -100,6 +114,9 @@ struct Config {
   ///   APGAS_POLL_BATCH         poll_batch
   ///   APGAS_COALESCE_BYTES     coalesce_bytes (0 disables coalescing)
   ///   APGAS_COALESCE_MSGS      coalesce_msgs
+  ///   APGAS_RETX_TIMEOUT_US    retx_timeout_us (0 disables reliability)
+  ///   APGAS_RETX_BACKOFF_MAX_US retx_backoff_max_us
+  ///   APGAS_RETX_ACK_IDLE_US   retx_ack_idle_us
   ///   APGAS_HIST               histograms (nonzero arms them)
   ///   APGAS_WATCHDOG_MS        watchdog_interval_ms (nonzero starts it)
   ///   APGAS_WATCHDOG_INTERVALS watchdog_stall_intervals
@@ -119,6 +136,9 @@ struct Config {
     read("APGAS_POLL_BATCH", cfg.poll_batch);
     read("APGAS_COALESCE_BYTES", cfg.coalesce_bytes);
     read("APGAS_COALESCE_MSGS", cfg.coalesce_msgs);
+    read("APGAS_RETX_TIMEOUT_US", cfg.retx_timeout_us);
+    read("APGAS_RETX_BACKOFF_MAX_US", cfg.retx_backoff_max_us);
+    read("APGAS_RETX_ACK_IDLE_US", cfg.retx_ack_idle_us);
     int hist = cfg.histograms ? 1 : 0;
     read("APGAS_HIST", hist);
     cfg.histograms = hist != 0;

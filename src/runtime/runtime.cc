@@ -61,6 +61,26 @@ Runtime::Runtime(const Config& cfg) : cfg_(cfg) {
                        static_cast<std::uint32_t>(dst));
     if (residency_ns != 0 && hist::enabled()) env_hist->record(residency_ns);
   };
+  // Reliability sublayer knobs + observability hooks (docs/transport.md
+  // "Reliability"): timeouts land in the flight recorder, ack latencies of
+  // retransmitted sequences in the retx.ack_latency_ns histogram.
+  tc.retx_timeout_us = cfg_.retx_timeout_us;
+  tc.retx_backoff_max_us = cfg_.retx_backoff_max_us;
+  tc.retx_ack_idle_us = cfg_.retx_ack_idle_us;
+  if (cfg_.retx_timeout_us > 0) {
+    tc.retx_timeout_hook = [](int src, int dst, std::uint64_t seq,
+                              std::uint32_t attempt) {
+      trace::emit_at(src, trace::Ev::kRetxTimeout, seq,
+                     (static_cast<std::uint64_t>(attempt) << 32) |
+                         static_cast<std::uint32_t>(dst));
+    };
+    Histogram* retx_hist = &metrics_->histogram("retx.ack_latency_ns");
+    tc.retx_acked_hook = [retx_hist](int /*src*/, int /*dst*/,
+                                     std::uint64_t latency_ns,
+                                     std::uint32_t /*attempts*/) {
+      if (hist::enabled()) retx_hist->record(latency_ns);
+    };
+  }
   transport_ = std::make_unique<x10rt::Transport>(tc);
   register_transport_gauges();
 
@@ -76,6 +96,11 @@ Runtime::Runtime(const Config& cfg) : cfg_(cfg) {
     ps->sched->add_idle_hook([this, p] {
       transport_->flush_coalesced(p, x10rt::FlushReason::kIdle);
     });
+    if (cfg_.retx_timeout_us > 0) {
+      // An idle place retransmits its timed-out traffic and settles owed
+      // acks without waiting for the next poll tick.
+      ps->sched->add_idle_hook([this, p] { transport_->retx_pump(p); });
+    }
     pstates_.push_back(std::move(ps));
   }
 
@@ -151,6 +176,23 @@ void Runtime::register_transport_gauges() {
                       [tr] { return tr->pool().recycled(); });
   metrics_->add_gauge("transport.pool.dropped",
                       [tr] { return tr->pool().dropped(); });
+
+  // Reliability sublayer + chaos injection (docs/transport.md "Reliability").
+  metrics_->add_gauge("transport.retx.sent", [tr] { return tr->retx_sent(); });
+  metrics_->add_gauge("transport.retx.acked",
+                      [tr] { return tr->retx_acked(); });
+  metrics_->add_gauge("transport.retx.retransmits",
+                      [tr] { return tr->retx_retransmits(); });
+  metrics_->add_gauge("transport.retx.dups_dropped",
+                      [tr] { return tr->retx_dups_dropped(); });
+  metrics_->add_gauge("transport.retx.standalone_acks",
+                      [tr] { return tr->retx_standalone_acks(); });
+  metrics_->add_gauge("transport.chaos.dropped",
+                      [tr] { return tr->chaos_dropped(); });
+  metrics_->add_gauge("transport.chaos.duped",
+                      [tr] { return tr->chaos_duped(); });
+  metrics_->add_gauge("transport.chaos.bypass",
+                      [tr] { return tr->chaos_bypass(); });
 }
 
 void Runtime::finalize_observability() {
@@ -170,9 +212,16 @@ void Runtime::finalize_observability() {
       if (transport_->flush_coalesced(p, x10rt::FlushReason::kQuiesce) > 0) {
         progressed = true;
       }
+      // Reliability fixpoint: force-retransmit every unacked entry and ship
+      // every owed ack. The force pump reports > 0 while any entry is
+      // unacked, so the drain cannot stop before the all-acked state — and
+      // an ack-only message never creates new debt, so it does terminate.
+      if (transport_->retx_pump(p, /*force=*/true) > 0) progressed = true;
       while (sched(p).step()) progressed = true;
     }
   }
+  assert(transport_->retx_quiescent() &&
+         "teardown drain must reach the all-acked fixpoint");
   detail::tl_place = saved_place;
   detail::store_last_metrics(metrics_->snapshot());
   hist::set_enabled(false);

@@ -1,6 +1,8 @@
 #include "runtime/team.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace apgas {
 
@@ -86,7 +88,18 @@ std::vector<std::byte> Team::recv_bytes(std::uint64_t seq, int tag,
     got = true;
     return true;
   });
-  assert(got);
+  if (!got) {
+    // Must never happen: run_until only returns once the predicate holds.
+    // Under NDEBUG an assert would compile out and silently hand an empty
+    // payload to the collective; abort loudly instead (same policy as
+    // Activity::take_credit_share).
+    std::fprintf(stderr,
+                 "[apgas] fatal: Team::recv_bytes returned without a matching "
+                 "mail entry (team=%llu seq=%llu tag=%d src_rank=%d)\n",
+                 static_cast<unsigned long long>(state_->id),
+                 static_cast<unsigned long long>(seq), tag, src_rank);
+    std::abort();
+  }
   return out;
 }
 
@@ -140,15 +153,31 @@ Team Team::split(int color, int key) {
     int key;
     int rank;
     int place;
+    std::uint64_t seq;  // sender's op count entering the split
   };
   const int sz = size();
   const int me = rank();
+  // The derived team id hangs off the parent's op count, so the count must
+  // be read under the member lock (collectives on other worker threads bump
+  // it via next_seq) and *before* the allgather below advances it — the
+  // post-allgather value would race with whatever collective runs next.
+  std::uint64_t my_seq;
+  {
+    auto& member = *state_->per[static_cast<std::size_t>(me)];
+    std::scoped_lock lock(member.mu);
+    my_seq = member.op_seq;
+  }
   std::vector<Entry> entries(static_cast<std::size_t>(sz));
-  const Entry mine{color, key, me, here()};
+  const Entry mine{color, key, me, here(), my_seq};
   allgather(&mine, entries.data(), 1);
 
   std::vector<Entry> same;
   for (const auto& e : entries) {
+    // Every member must enter the split at the same op count, or the
+    // "identical derived id" assumption the registry rendezvous depends on
+    // is already broken — fail here, not at the id-collision assert.
+    assert(e.seq == my_seq &&
+           "Team::split members entered at different op counts");
     if (e.color == color) same.push_back(e);
   }
   std::sort(same.begin(), same.end(), [](const Entry& a, const Entry& b) {
@@ -159,10 +188,9 @@ Team Team::split(int color, int key) {
   for (const auto& e : same) members.push_back(e.place);
 
   // Deterministic id every member computes identically: derived from the
-  // parent team, the color, and the parent's current op count.
-  const std::uint64_t seq = state_->per[static_cast<std::size_t>(me)]->op_seq;
+  // parent team, the color, and the parent's op count entering the split.
   const std::uint64_t id = (state_->id * 1315423911ULL) ^
-                           (static_cast<std::uint64_t>(color) << 32) ^ seq ^
+                           (static_cast<std::uint64_t>(color) << 32) ^ my_seq ^
                            0x51ed2701ULL;
   return Team(team_detail::get_or_create(id, state_->mode, members));
 }

@@ -35,6 +35,7 @@ constexpr std::array<const char*, kNumEv> kEvNames = {
     "sched.steal",     // kSchedSteal
     "sched.overflow",  // kSchedOverflow
     "coalesce.flush",  // kCoalesceFlush
+    "retx.timeout",    // kRetxTimeout
 };
 
 constexpr bool all_events_named() {

@@ -81,6 +81,13 @@ void Watchdog::diagnose(int stalled_intervals) const {
            q, tr.inbox_depth(q), s.overflow_pending(), tr.sleepers(q),
            tr.coalesce_open_envelopes(q), s.activities_executed(),
            s.messages_processed());
+    // Reliability sublayer: a stall with unacked retransmit queues usually
+    // means the loss/ack loop, not the protocols, is the thing to look at.
+    for (const auto& d : tr.retx_unacked(q)) {
+      append("    retx %d->%d: oldest_unacked_seq=%" PRIu64 " age=%" PRIu64
+             "us depth=%zu\n",
+             q, d.dst, d.oldest_seq, d.age_ns / 1000, d.depth);
+    }
   }
 
   // Open finishes: count them and name the oldest (lowest seq; ties broken

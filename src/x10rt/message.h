@@ -36,10 +36,19 @@ inline const char* msg_type_name(MsgType t) {
   return "?";
 }
 
+/// Reliability-header flags on a Message (the `rflags` field). Only the
+/// transport's reliability sublayer reads them; they are all zero when the
+/// layer is disabled.
+inline constexpr std::uint8_t kMsgHasAck = 1;  ///< `ack` field is valid
+inline constexpr std::uint8_t kMsgAckOnly = 2; ///< standalone ack, no body
+
 /// A message is a closure executed at the destination place by its scheduler,
 /// plus bookkeeping used by the transport layer (type, approximate payload
 /// size in wire bytes). Closures must capture by value only: once enqueued,
-/// the sender's stack is gone.
+/// the sender's stack is gone. Closures must also be *copyable* (which
+/// std::function already requires): the reliability sublayer retains a copy
+/// of every sequenced message for retransmission, and chaos duplication
+/// injects independent copies onto the wire.
 struct Message {
   std::function<void()> run;
   MsgType type = MsgType::kOther;
@@ -50,6 +59,16 @@ struct Message {
   // turns the delta into ship->execute latency; the transport itself never
   // reads it.
   std::uint64_t t_send_ns = 0;
+  // --- reliability header (docs/transport.md "Reliability") ----------------
+  // Per-(src,dst) monotone sequence number, stamped by the transport when the
+  // reliability sublayer is armed. 0 = unsequenced: the message bypasses
+  // ack/retransmit/dedup entirely (the layer off, standalone acks, or an
+  // anonymous source) and chaos never drops or duplicates it.
+  std::uint64_t seq = 0;
+  // Cumulative ack piggybacked for the reverse direction: "src has delivered
+  // every sequence <= ack of dst's traffic". Valid iff rflags & kMsgHasAck.
+  std::uint64_t ack = 0;
+  std::uint8_t rflags = 0;  // kMsgHasAck | kMsgAckOnly
 };
 
 }  // namespace x10rt

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <tuple>
 #include <utility>
@@ -21,6 +23,15 @@ std::uint64_t mono_ns() {
 Transport::Transport(TransportConfig cfg)
     : cfg_(cfg), ranges_(static_cast<std::size_t>(cfg.places)) {
   assert(cfg_.places >= 1);
+  if (cfg_.chaos.lossy() && !reliability_enabled()) {
+    // A lost message with no retransmit layer wedges every finish protocol
+    // forever; refuse the configuration loudly instead of hanging silently.
+    std::fprintf(stderr,
+                 "[x10rt] fatal: chaos drop/dup injection requires the "
+                 "reliability sublayer (set retx_timeout_us > 0 / "
+                 "APGAS_RETX_TIMEOUT_US)\n");
+    std::abort();
+  }
   inboxes_.reserve(static_cast<std::size_t>(cfg_.places));
   coalesce_.reserve(static_cast<std::size_t>(cfg_.places));
   for (int p = 0; p < cfg_.places; ++p) {
@@ -31,6 +42,28 @@ Transport::Transport(TransportConfig cfg)
     shard->per_dst.resize(static_cast<std::size_t>(cfg_.places));
     shard->open_ns.resize(static_cast<std::size_t>(cfg_.places), 0);
     coalesce_.push_back(std::move(shard));
+  }
+  if (reliability_enabled()) {
+    retx_.reserve(static_cast<std::size_t>(cfg_.places));
+    recv_.reserve(static_cast<std::size_t>(cfg_.places));
+    retx_next_pump_.reserve(static_cast<std::size_t>(cfg_.places));
+    for (int p = 0; p < cfg_.places; ++p) {
+      auto rs = std::make_unique<RetxShard>();
+      rs->per_dst.resize(static_cast<std::size_t>(cfg_.places));
+      retx_.push_back(std::move(rs));
+      auto rv = std::make_unique<RecvShard>();
+      rv->per_src.resize(static_cast<std::size_t>(cfg_.places));
+      recv_.push_back(std::move(rv));
+      retx_next_pump_.push_back(
+          std::make_unique<std::atomic<std::uint64_t>>(0));
+    }
+    // Pump from the poll hot path often enough that neither a retransmit
+    // timer nor an ack-idle deadline slips by a whole interval.
+    const std::uint64_t tick_us =
+        std::min(cfg_.retx_timeout_us, std::max<std::uint64_t>(
+                                           cfg_.retx_ack_idle_us, 1)) /
+        2;
+    retx_pump_interval_ns_ = std::max<std::uint64_t>(tick_us, 1) * 1000;
   }
   if (cfg_.count_pairs) {
     pair_counts_ = std::vector<std::atomic<std::uint64_t>>(
@@ -72,13 +105,45 @@ void Transport::record(const Message& m, int dst) {
 }
 
 void Transport::enqueue_locked(Inbox& box, Message&& m) {
-  if (cfg_.chaos.enabled() && box.delayed.size() < cfg_.chaos.max_delayed) {
+  // Chaos dup injection: only sequenced messages (the reliability layer is
+  // armed, so the receiver dedups one of the copies). The injected copy goes
+  // through the same drop/delay gauntlet as the original, independently.
+  if (m.seq != 0 && cfg_.chaos.dup_prob > 0.0) {
     std::uniform_real_distribution<double> u(0.0, 1.0);
-    if (u(box.rng) < cfg_.chaos.delay_prob) {
-      // Park the message; it will be released later in randomized order.
-      box.delayed.push_back(std::move(m));
+    if (u(box.rng) < cfg_.chaos.dup_prob) {
+      chaos_duped_.fetch_add(1, std::memory_order_relaxed);
+      Message copy = m;
+      enqueue_copy_locked(box, std::move(copy));
+    }
+  }
+  enqueue_copy_locked(box, std::move(m));
+}
+
+void Transport::enqueue_copy_locked(Inbox& box, Message&& m) {
+  // Chaos drop injection: discard sequenced messages at the wire; the
+  // sender's retransmit queue still holds a copy, so delivery is delayed,
+  // not lost. Unsequenced messages (layer off, standalone acks) never drop.
+  if (m.seq != 0 && cfg_.chaos.drop_prob > 0.0) {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    if (u(box.rng) < cfg_.chaos.drop_prob) {
+      chaos_dropped_.fetch_add(1, std::memory_order_relaxed);
       maybe_release_delayed_locked(box);
       return;
+    }
+  }
+  if (cfg_.chaos.delay_prob > 0.0) {
+    if (box.delayed.size() < cfg_.chaos.max_delayed) {
+      std::uniform_real_distribution<double> u(0.0, 1.0);
+      if (u(box.rng) < cfg_.chaos.delay_prob) {
+        // Park the message; it will be released later in randomized order.
+        box.delayed.push_back(std::move(m));
+        maybe_release_delayed_locked(box);
+        return;
+      }
+    } else {
+      // Delay shaping is saturated off: the message skips the roll entirely.
+      // Counted so "passed under chaos" can't silently mean this.
+      chaos_bypass_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   box.queue.push_back(std::move(m));
@@ -110,6 +175,17 @@ void Transport::send(int dst, Message m) {
 
 void Transport::send_unrecorded(int dst, Message m) {
   assert(dst >= 0 && dst < cfg_.places);
+  // Reliability stamping: one branch when the layer is off (zero-cost
+  // passthrough). Anonymous sources (src < 0) cannot own a retransmit queue
+  // and ship unsequenced, exactly as before.
+  if (reliability_enabled() && m.src >= 0 && m.src < cfg_.places &&
+      !(m.rflags & kMsgAckOnly)) {
+    retx_stamp(dst, m);
+  }
+  wire_deliver(dst, std::move(m));
+}
+
+void Transport::wire_deliver(int dst, Message m) {
   auto& box = *inboxes_[static_cast<std::size_t>(dst)];
   {
     std::scoped_lock lock(box.mu);
@@ -122,41 +198,342 @@ void Transport::send_unrecorded(int dst, Message m) {
   if (box.sleepers.load(std::memory_order_relaxed) > 0) box.cv.notify_one();
 }
 
+void Transport::retx_stamp(int dst, Message& m) {
+  const int src = m.src;
+  const std::uint64_t now = mono_ns();
+  {
+    auto& shard = *retx_[static_cast<std::size_t>(src)];
+    std::scoped_lock lock(shard.mu);
+    auto& pair = shard.per_dst[static_cast<std::size_t>(dst)];
+    m.seq = ++pair.next_seq;
+    RetxEntry e;
+    e.first_send_ns = now;
+    e.backoff_us = cfg_.retx_timeout_us;
+    e.next_retx_ns = now + e.backoff_us * 1000;
+    e.attempts = 1;
+    // Retained after the seq is stamped; the piggybacked ack below is *not*
+    // part of the retained copy — retransmits refresh it at pump time.
+    e.copy = m;
+    pair.unacked.emplace(m.seq, std::move(e));
+  }
+  retx_sent_.fetch_add(1, std::memory_order_relaxed);
+  // Piggyback the cumulative ack for the reverse direction (dst -> src
+  // traffic delivered at src). Separate critical section: sender-shard and
+  // receiver-shard locks are never nested.
+  {
+    auto& shard = *recv_[static_cast<std::size_t>(src)];
+    std::scoped_lock lock(shard.mu);
+    auto& rp = shard.per_src[static_cast<std::size_t>(dst)];
+    m.ack = rp.cum;
+    m.rflags |= kMsgHasAck;
+    rp.acked_sent = rp.cum;
+    rp.owed_since_ns = 0;
+  }
+}
+
+bool Transport::retx_admit(int place, Message& m) {
+  const int peer = m.src;
+  if ((m.rflags & kMsgHasAck) != 0 && peer >= 0 && peer < cfg_.places) {
+    retx_process_ack(place, peer, m.ack);
+  }
+  if ((m.rflags & kMsgAckOnly) != 0) return false;  // consumed at admission
+  if (m.seq == 0) return true;                      // unsequenced passthrough
+  bool fresh = false;
+  {
+    auto& shard = *recv_[static_cast<std::size_t>(place)];
+    std::scoped_lock lock(shard.mu);
+    auto& rp = shard.per_src[static_cast<std::size_t>(peer)];
+    if (m.seq <= rp.cum || rp.above.count(m.seq) != 0) {
+      // Duplicate. Its arrival proves the sender has not seen our
+      // cumulative ack (a piggybacked ack can ride a dropped message), so
+      // roll the communicated mark back to force a re-ack — standalone acks
+      // are unsequenced and can never be dropped, so this guarantees the
+      // sender's retransmit queue eventually drains.
+      if (m.seq <= rp.cum && rp.acked_sent >= m.seq) {
+        rp.acked_sent = m.seq - 1;
+      }
+      if (rp.owed_since_ns == 0) rp.owed_since_ns = mono_ns();
+    } else {
+      fresh = true;
+      if (m.seq == rp.cum + 1) {
+        rp.cum = m.seq;
+        while (!rp.above.empty() && *rp.above.begin() == rp.cum + 1) {
+          rp.above.erase(rp.above.begin());
+          ++rp.cum;
+        }
+      } else {
+        rp.above.insert(m.seq);
+      }
+      if (rp.cum > rp.acked_sent && rp.owed_since_ns == 0) {
+        rp.owed_since_ns = mono_ns();
+      }
+    }
+  }
+  if (!fresh) {
+    retx_dups_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void Transport::retx_process_ack(int place, int peer, std::uint64_t ack) {
+  struct AckedHook {
+    std::uint64_t latency_ns;
+    std::uint32_t attempts;
+  };
+  std::vector<AckedHook> hooked;
+  std::uint64_t n = 0;
+  {
+    auto& shard = *retx_[static_cast<std::size_t>(place)];
+    std::scoped_lock lock(shard.mu);
+    auto& pair = shard.per_dst[static_cast<std::size_t>(peer)];
+    if (ack <= pair.cum_acked) return;
+    pair.cum_acked = ack;
+    const std::uint64_t now =
+        (cfg_.retx_acked_hook && !pair.unacked.empty()) ? mono_ns() : 0;
+    auto it = pair.unacked.begin();
+    while (it != pair.unacked.end() && it->first <= ack) {
+      ++n;
+      if (it->second.attempts > 1 && cfg_.retx_acked_hook) {
+        const std::uint64_t lat =
+            now > it->second.first_send_ns ? now - it->second.first_send_ns : 1;
+        hooked.push_back({lat, it->second.attempts});
+      }
+      it = pair.unacked.erase(it);
+    }
+  }
+  if (n > 0) retx_acked_.fetch_add(n, std::memory_order_relaxed);
+  for (const auto& h : hooked) {
+    cfg_.retx_acked_hook(place, peer, h.latency_ns, h.attempts);
+  }
+}
+
+void Transport::retx_maybe_pump(int place) {
+  auto& next = *retx_next_pump_[static_cast<std::size_t>(place)];
+  const std::uint64_t now = mono_ns();
+  std::uint64_t prev = next.load(std::memory_order_relaxed);
+  if (now < prev) return;
+  // One poller wins the tick; everyone else skips — the pump itself takes
+  // the shard locks, so admission control here keeps the hot path cheap.
+  if (!next.compare_exchange_strong(prev, now + retx_pump_interval_ns_,
+                                    std::memory_order_relaxed)) {
+    return;
+  }
+  retx_pump(place, /*force=*/false);
+}
+
+std::size_t Transport::retx_pump(int place, bool force) {
+  if (!reliability_enabled() || place < 0 || place >= cfg_.places) return 0;
+  const std::uint64_t now = mono_ns();
+  // Phase 1: timed-out retransmits. Collect copies under the sender shard
+  // lock, refresh their piggybacked acks under the receiver shard lock, then
+  // put them on the wire with no shard lock held.
+  std::vector<std::pair<int, Message>> resend;
+  struct TimeoutHook {
+    int dst;
+    std::uint64_t seq;
+    std::uint32_t attempt;
+  };
+  std::vector<TimeoutHook> hooks;
+  {
+    auto& shard = *retx_[static_cast<std::size_t>(place)];
+    std::scoped_lock lock(shard.mu);
+    for (int d = 0; d < cfg_.places; ++d) {
+      auto& pair = shard.per_dst[static_cast<std::size_t>(d)];
+      for (auto& [seq, e] : pair.unacked) {
+        if (!force && e.next_retx_ns > now) continue;
+        if (cfg_.retx_timeout_hook) hooks.push_back({d, seq, e.attempts});
+        ++e.attempts;
+        e.backoff_us = std::min(e.backoff_us * 2, cfg_.retx_backoff_max_us);
+        e.next_retx_ns = now + e.backoff_us * 1000;
+        resend.emplace_back(d, e.copy);
+      }
+    }
+  }
+  // Phase 2: standalone acks for aged (or force-drained) ack debt. Only owed
+  // when cum > acked_sent, so the teardown force loop cannot ping-pong acks
+  // forever — an ack-only message never creates new debt at its receiver.
+  std::vector<std::pair<int, Message>> acks;
+  {
+    auto& shard = *recv_[static_cast<std::size_t>(place)];
+    std::scoped_lock lock(shard.mu);
+    for (int s = 0; s < cfg_.places; ++s) {
+      auto& rp = shard.per_src[static_cast<std::size_t>(s)];
+      if (rp.cum <= rp.acked_sent) continue;
+      const bool aged = rp.owed_since_ns != 0 &&
+                        now - rp.owed_since_ns >=
+                            cfg_.retx_ack_idle_us * 1000;
+      if (!force && !aged) continue;
+      Message a;
+      a.run = [] {};
+      a.type = MsgType::kControl;
+      a.src = place;
+      a.ack = rp.cum;
+      a.rflags = kMsgHasAck | kMsgAckOnly;
+      acks.emplace_back(s, std::move(a));
+      rp.acked_sent = rp.cum;
+      rp.owed_since_ns = 0;
+    }
+    // Refresh the retransmits' piggybacked acks while the lock is held.
+    for (auto& [d, m] : resend) {
+      auto& rp = shard.per_src[static_cast<std::size_t>(d)];
+      m.ack = rp.cum;
+      m.rflags |= kMsgHasAck;
+      rp.acked_sent = std::max(rp.acked_sent, rp.cum);
+      if (rp.acked_sent == rp.cum) rp.owed_since_ns = 0;
+    }
+  }
+  for (const auto& h : hooks) {
+    cfg_.retx_timeout_hook(place, h.dst, h.seq, h.attempt);
+  }
+  if (!resend.empty()) {
+    retx_retransmits_.fetch_add(resend.size(), std::memory_order_relaxed);
+  }
+  if (!acks.empty()) {
+    retx_standalone_acks_.fetch_add(acks.size(), std::memory_order_relaxed);
+  }
+  const std::size_t produced = resend.size() + acks.size();
+  for (auto& [d, m] : resend) wire_deliver(d, std::move(m));
+  for (auto& [s, a] : acks) wire_deliver(s, std::move(a));
+  return produced;
+}
+
+bool Transport::retx_quiescent() const {
+  if (!reliability_enabled()) return true;
+  for (int p = 0; p < cfg_.places; ++p) {
+    auto& shard = *retx_[static_cast<std::size_t>(p)];
+    std::scoped_lock lock(shard.mu);
+    for (const auto& pair : shard.per_dst) {
+      if (!pair.unacked.empty()) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Transport::RetxDiag> Transport::retx_unacked(int src) const {
+  std::vector<RetxDiag> out;
+  if (!reliability_enabled() || src < 0 || src >= cfg_.places) return out;
+  const std::uint64_t now = mono_ns();
+  auto& shard = *retx_[static_cast<std::size_t>(src)];
+  std::scoped_lock lock(shard.mu);
+  for (int d = 0; d < cfg_.places; ++d) {
+    const auto& pair = shard.per_dst[static_cast<std::size_t>(d)];
+    if (pair.unacked.empty()) continue;
+    const auto& oldest = *pair.unacked.begin();
+    RetxDiag diag;
+    diag.dst = d;
+    diag.oldest_seq = oldest.first;
+    diag.age_ns = now > oldest.second.first_send_ns
+                      ? now - oldest.second.first_send_ns
+                      : 0;
+    diag.depth = pair.unacked.size();
+    out.push_back(diag);
+  }
+  return out;
+}
+
 std::optional<Message> Transport::poll(int place) {
   auto& box = *inboxes_[static_cast<std::size_t>(place)];
-  std::scoped_lock lock(box.mu);
-  if (box.queue.empty() && !box.delayed.empty()) {
-    // Chaos must not withhold the last messages forever: drain one now.
-    std::uniform_int_distribution<std::size_t> pick(0, box.delayed.size() - 1);
-    const std::size_t j = pick(box.rng);
-    box.queue.push_back(std::move(box.delayed[j]));
-    box.delayed.erase(box.delayed.begin() + static_cast<std::ptrdiff_t>(j));
+  if (!reliability_enabled()) {
+    std::scoped_lock lock(box.mu);
+    if (box.queue.empty() && !box.delayed.empty()) {
+      // Chaos must not withhold the last messages forever: drain one now.
+      std::uniform_int_distribution<std::size_t> pick(0,
+                                                      box.delayed.size() - 1);
+      const std::size_t j = pick(box.rng);
+      box.queue.push_back(std::move(box.delayed[j]));
+      box.delayed.erase(box.delayed.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+    if (box.queue.empty()) return std::nullopt;
+    Message m = std::move(box.queue.front());
+    box.queue.pop_front();
+    return m;
   }
-  if (box.queue.empty()) return std::nullopt;
-  Message m = std::move(box.queue.front());
-  box.queue.pop_front();
-  return m;
+  // Reliability path. Admission (ack processing / dedup / ack-only
+  // consumption) runs *outside* the inbox lock: it takes the retx/recv shard
+  // locks, and a self-send from retx_pump otherwise forms an inbox <-> shard
+  // ordering cycle. The time-gated pump is also lock-free to enter.
+  retx_maybe_pump(place);
+  for (;;) {
+    std::optional<Message> m;
+    {
+      std::scoped_lock lock(box.mu);
+      if (box.queue.empty() && !box.delayed.empty()) {
+        std::uniform_int_distribution<std::size_t> pick(
+            0, box.delayed.size() - 1);
+        const std::size_t j = pick(box.rng);
+        box.queue.push_back(std::move(box.delayed[j]));
+        box.delayed.erase(box.delayed.begin() +
+                          static_cast<std::ptrdiff_t>(j));
+      }
+      if (!box.queue.empty()) {
+        m = std::move(box.queue.front());
+        box.queue.pop_front();
+      }
+    }
+    if (!m) return std::nullopt;
+    if (retx_admit(place, *m)) return m;
+    // Duplicate or standalone ack: consumed here, try the next message.
+  }
 }
 
 std::size_t Transport::poll_batch(int place, std::deque<Message>& out,
                                   std::size_t max) {
   auto& box = *inboxes_[static_cast<std::size_t>(place)];
-  std::scoped_lock lock(box.mu);
-  if (box.queue.empty() && !box.delayed.empty()) {
-    // Chaos must not withhold the last messages forever: drain one now.
-    // (Release check before the batch is taken — identical to poll().)
-    std::uniform_int_distribution<std::size_t> pick(0, box.delayed.size() - 1);
-    const std::size_t j = pick(box.rng);
-    box.queue.push_back(std::move(box.delayed[j]));
-    box.delayed.erase(box.delayed.begin() + static_cast<std::ptrdiff_t>(j));
+  if (!reliability_enabled()) {
+    std::scoped_lock lock(box.mu);
+    if (box.queue.empty() && !box.delayed.empty()) {
+      // Chaos must not withhold the last messages forever: drain one now.
+      // (Release check before the batch is taken — identical to poll().)
+      std::uniform_int_distribution<std::size_t> pick(0,
+                                                      box.delayed.size() - 1);
+      const std::size_t j = pick(box.rng);
+      box.queue.push_back(std::move(box.delayed[j]));
+      box.delayed.erase(box.delayed.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+    std::size_t n = 0;
+    while (n < max && !box.queue.empty()) {
+      out.push_back(std::move(box.queue.front()));
+      box.queue.pop_front();
+      ++n;
+    }
+    return n;
   }
+  // Reliability path: take a raw batch under the lock, filter through
+  // admission outside it (same lock-ordering argument as poll()). Callers
+  // treat a zero return as "inbox empty", so a batch that admits nothing —
+  // a retransmit storm of duplicates, or standalone acks — must not end
+  // the call while raw messages remain queued: keep taking batches until
+  // something is admitted or the queue is actually drained.
+  retx_maybe_pump(place);
   std::size_t n = 0;
-  while (n < max && !box.queue.empty()) {
-    out.push_back(std::move(box.queue.front()));
-    box.queue.pop_front();
-    ++n;
+  for (;;) {
+    std::deque<Message> raw;
+    {
+      std::scoped_lock lock(box.mu);
+      if (box.queue.empty() && !box.delayed.empty()) {
+        std::uniform_int_distribution<std::size_t> pick(0,
+                                                        box.delayed.size() - 1);
+        const std::size_t j = pick(box.rng);
+        box.queue.push_back(std::move(box.delayed[j]));
+        box.delayed.erase(box.delayed.begin() + static_cast<std::ptrdiff_t>(j));
+      }
+      std::size_t taken = 0;
+      while (taken < max && !box.queue.empty()) {
+        raw.push_back(std::move(box.queue.front()));
+        box.queue.pop_front();
+        ++taken;
+      }
+    }
+    if (raw.empty()) return n;
+    for (auto& m : raw) {
+      if (retx_admit(place, m)) {
+        out.push_back(std::move(m));
+        ++n;
+      }
+    }
+    if (n > 0) return n;
   }
-  return n;
 }
 
 bool Transport::wait_nonempty(int place, std::chrono::microseconds timeout) {
@@ -554,6 +931,14 @@ void Transport::reset_stats() {
   coalesce_wire_bytes_.store(0, std::memory_order_relaxed);
   coalesce_bypass_.store(0, std::memory_order_relaxed);
   for (auto& f : coalesce_flush_counts_) f.store(0, std::memory_order_relaxed);
+  retx_sent_.store(0, std::memory_order_relaxed);
+  retx_acked_.store(0, std::memory_order_relaxed);
+  retx_retransmits_.store(0, std::memory_order_relaxed);
+  retx_dups_dropped_.store(0, std::memory_order_relaxed);
+  retx_standalone_acks_.store(0, std::memory_order_relaxed);
+  chaos_dropped_.store(0, std::memory_order_relaxed);
+  chaos_duped_.store(0, std::memory_order_relaxed);
+  chaos_bypass_.store(0, std::memory_order_relaxed);
   for (auto& pc : pair_counts_) pc.store(0, std::memory_order_relaxed);
   for (auto& pc : ctrl_pair_counts_) pc.store(0, std::memory_order_relaxed);
 }

@@ -26,10 +26,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <random>
+#include <set>
 #include <shared_mutex>
 #include <thread>
 #include <vector>
@@ -68,15 +70,30 @@ inline const char* flush_reason_name(FlushReason r) {
   return "?";
 }
 
+/// Feature gate for the reliability sublayer (ISSUE 5).
+#define APGAS_HAVE_RELIABILITY 1
+
 /// Chaos injection: with probability `delay_prob` a message is parked in a
-/// side pool and released later in randomized order. Delivery remains
-/// guaranteed: pollers drain the pool once the main queue is empty.
+/// side pool and released later in randomized order (delivery remains
+/// guaranteed: pollers drain the pool once the main queue is empty). With
+/// probability `drop_prob` a *sequenced* message is discarded at the wire and
+/// with `dup_prob` an independent duplicate is injected — both require the
+/// reliability sublayer (TransportConfig::retx_timeout_us > 0), which
+/// retransmits the loss and dedups the copy; unsequenced messages are never
+/// dropped or duplicated. All decisions come from the same deterministic
+/// per-destination-place RNG stream as the delay decision (seed + place *
+/// constant), so a (seed, probabilities) tuple names one adversary.
 struct ChaosConfig {
   double delay_prob = 0.0;
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
   std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
   std::size_t max_delayed = 64;
 
-  [[nodiscard]] bool enabled() const { return delay_prob > 0.0; }
+  [[nodiscard]] bool enabled() const {
+    return delay_prob > 0.0 || drop_prob > 0.0 || dup_prob > 0.0;
+  }
+  [[nodiscard]] bool lossy() const { return drop_prob > 0.0 || dup_prob > 0.0; }
 };
 
 struct TransportConfig {
@@ -100,6 +117,35 @@ struct TransportConfig {
   std::function<void(int src, int dst, std::uint32_t records, FlushReason,
                      std::uint64_t residency_ns)>
       flush_hook;
+
+  // --- reliability sublayer (docs/transport.md "Reliability") --------------
+
+  /// Initial retransmit timeout in microseconds; 0 disables the reliability
+  /// sublayer entirely — every send is a zero-cost passthrough with wire
+  /// behavior bit-for-bit identical to the pre-reliability transport. When
+  /// > 0, every message from a real source place is stamped with a
+  /// per-(src,dst) sequence number, retained for retransmission until
+  /// cumulatively acked, and deduplicated at the receiver.
+  std::uint64_t retx_timeout_us = 0;
+  /// Retransmit backoff cap: the per-entry timeout doubles after each
+  /// retransmission up to this many microseconds.
+  std::uint64_t retx_backoff_max_us = 50'000;
+  /// A receiver owing an ack (delivered sequences not yet communicated) with
+  /// no reverse traffic to piggyback on sends a standalone ack once the debt
+  /// is this many microseconds old.
+  std::uint64_t retx_ack_idle_us = 200;
+  /// Observability callback fired when a retransmit timer expires (before the
+  /// copy is re-sent). `attempt` counts sends of this sequence so far (1 =
+  /// the original). The runtime wires this to the retx.timeout trace event.
+  std::function<void(int src, int dst, std::uint64_t seq,
+                     std::uint32_t attempt)>
+      retx_timeout_hook;
+  /// Observability callback fired when a sequence that needed at least one
+  /// retransmission is finally acked; `latency_ns` spans first send -> ack.
+  /// The runtime records it into the retx.ack_latency_ns histogram.
+  std::function<void(int src, int dst, std::uint64_t latency_ns,
+                     std::uint32_t attempts)>
+      retx_acked_hook;
 };
 
 /// Shared-memory X10RT transport. Thread-safe; one instance per "job".
@@ -274,7 +320,78 @@ class Transport {
         std::memory_order_relaxed);
   }
 
+  // --- Reliability sublayer (ack/retransmit/dedup) -------------------------
+
+  [[nodiscard]] bool reliability_enabled() const {
+    return cfg_.retx_timeout_us > 0;
+  }
+
+  /// Drives `place`'s share of the reliability protocol: retransmits every
+  /// timed-out unacked entry whose source is `place`, and sends standalone
+  /// acks for delivered-but-uncommunicated sequences whose ack debt has aged
+  /// past the idle threshold. With `force`, every unacked entry retransmits
+  /// immediately and every owed ack ships regardless of age — the teardown
+  /// quiescence driver uses this to reach the all-acked fixpoint. Returns
+  /// the number of wire messages produced (0 = nothing to do). Cheap no-op
+  /// when the layer is off. Poll paths call this on a time gate; the
+  /// scheduler idle hook and teardown call it directly.
+  std::size_t retx_pump(int place, bool force = false);
+
+  /// True when every sequenced message ever sent has been cumulatively
+  /// acked (no retransmit queue holds an entry). Trivially true when off.
+  [[nodiscard]] bool retx_quiescent() const;
+
+  /// Sequenced messages sent (originals only; retransmissions excluded).
+  [[nodiscard]] std::uint64_t retx_sent() const {
+    return retx_sent_.load(std::memory_order_relaxed);
+  }
+  /// Sequenced messages confirmed delivered by a cumulative ack.
+  [[nodiscard]] std::uint64_t retx_acked() const {
+    return retx_acked_.load(std::memory_order_relaxed);
+  }
+  /// Retransmitted copies put on the wire (timeout- or force-driven).
+  [[nodiscard]] std::uint64_t retx_retransmits() const {
+    return retx_retransmits_.load(std::memory_order_relaxed);
+  }
+  /// Duplicate deliveries suppressed by the receiver dedup window.
+  [[nodiscard]] std::uint64_t retx_dups_dropped() const {
+    return retx_dups_dropped_.load(std::memory_order_relaxed);
+  }
+  /// Standalone (non-piggybacked) ack messages sent.
+  [[nodiscard]] std::uint64_t retx_standalone_acks() const {
+    return retx_standalone_acks_.load(std::memory_order_relaxed);
+  }
+
+  // --- Chaos statistics ----------------------------------------------------
+
+  /// Sequenced messages discarded at the wire by chaos drop injection.
+  [[nodiscard]] std::uint64_t chaos_dropped() const {
+    return chaos_dropped_.load(std::memory_order_relaxed);
+  }
+  /// Duplicate copies injected by chaos dup injection.
+  [[nodiscard]] std::uint64_t chaos_duped() const {
+    return chaos_duped_.load(std::memory_order_relaxed);
+  }
+  /// Messages that bypassed delay shaping because the delayed pool was
+  /// saturated at max_delayed — "passed under chaos" with this nonzero may
+  /// mean "chaos was saturated off" (ISSUE 5 satellite).
+  [[nodiscard]] std::uint64_t chaos_bypass() const {
+    return chaos_bypass_.load(std::memory_order_relaxed);
+  }
+
   // --- Introspection (stall watchdog diagnosis) ----------------------------
+
+  /// One unacked retransmit queue, as reported to the stall watchdog.
+  struct RetxDiag {
+    int dst = -1;
+    std::uint64_t oldest_seq = 0;  ///< lowest unacked sequence for the pair
+    std::uint64_t age_ns = 0;      ///< time since that sequence's first send
+    std::size_t depth = 0;         ///< unacked entries for the pair
+  };
+
+  /// Non-empty retransmit queues whose source is `src` (empty when the layer
+  /// is off). Takes the shard lock; diagnosis-path only.
+  [[nodiscard]] std::vector<RetxDiag> retx_unacked(int src) const;
 
   /// Messages currently parked in `place`'s inbox (queued + chaos-delayed).
   /// Takes the inbox lock; diagnosis-path only, not for hot paths.
@@ -350,7 +467,64 @@ class Transport {
     std::vector<std::vector<std::byte>> spare;
   };
 
+  // --- reliability state ----------------------------------------------------
+  // Lock discipline: the sender shard lock, the receiver shard lock, and an
+  // inbox lock are never nested with one another — every reliability path
+  // takes them strictly sequentially — so no ordering cycle can form with
+  // the coalescing shard -> inbox order.
+
+  /// One unacked sequenced message retained by the sender.
+  struct RetxEntry {
+    Message copy;                   // independent copy; re-sent on timeout
+    std::uint64_t first_send_ns = 0;
+    std::uint64_t next_retx_ns = 0;
+    std::uint64_t backoff_us = 0;   // current timeout (doubles, capped)
+    std::uint32_t attempts = 1;     // sends so far (1 = original only)
+  };
+
+  /// Sender-side books for one (src, dst) direction, held at src.
+  struct RetxPair {
+    std::map<std::uint64_t, RetxEntry> unacked;  // seq -> entry
+    std::uint64_t next_seq = 0;                  // last assigned (first is 1)
+    std::uint64_t cum_acked = 0;                 // highest cumulative ack seen
+  };
+
+  /// All sender-side pairs originating at one place.
+  struct RetxShard {
+    mutable std::mutex mu;
+    std::vector<RetxPair> per_dst;
+  };
+
+  /// Receiver-side dedup window for one (src -> me) direction, held at me.
+  struct RecvPair {
+    std::uint64_t cum = 0;             // every seq <= cum delivered
+    std::set<std::uint64_t> above;     // delivered seqs > cum (gap survivors)
+    std::uint64_t acked_sent = 0;      // last cum communicated back to src
+    std::uint64_t owed_since_ns = 0;   // when the ack debt began (0 = none)
+  };
+
+  struct RecvShard {
+    mutable std::mutex mu;
+    std::vector<RecvPair> per_src;
+  };
+
+  /// Stamps seq (and the piggybacked cumulative ack) into `m` and retains a
+  /// retransmit copy. Reliability-armed sends only.
+  void retx_stamp(int dst, Message& m);
+  /// Receiver-side admission: processes the piggybacked ack, consumes
+  /// ack-only messages, and dedups sequenced ones. Returns false when the
+  /// message must not be delivered to the scheduler.
+  bool retx_admit(int place, Message& m);
+  /// Removes entries with seq <= ack for the (place -> peer) direction and
+  /// fires the acked hook for retransmitted ones.
+  void retx_process_ack(int place, int peer, std::uint64_t ack);
+  /// Time-gated retx_pump from the poll hot path.
+  void retx_maybe_pump(int place);
+
   void enqueue_locked(Inbox& box, Message&& m);
+  /// The per-copy half of enqueue_locked: chaos drop + delay for one wire
+  /// copy (dup injection happens in enqueue_locked before this).
+  void enqueue_copy_locked(Inbox& box, Message&& m);
   void maybe_release_delayed_locked(Inbox& box);
   void record(const Message& m, int dst);
   /// The per-class / per-pair statistics bump shared by the direct path
@@ -358,8 +532,12 @@ class Transport {
   /// time) — so control-volume metrics are comparable across modes.
   void count_logical(int src, int dst, MsgType type, std::size_t wire_bytes);
   /// send() minus the statistics: envelopes ride this so their records are
-  /// not double-counted.
+  /// not double-counted. Runs the reliability stamping before the wire.
   void send_unrecorded(int dst, Message m);
+  /// The wire itself: chaos injection + inbox enqueue + sleeper-elided
+  /// notify. Retransmissions and standalone acks enter here directly (they
+  /// are wire artifacts, never re-stamped and never re-counted).
+  void wire_deliver(int dst, Message m);
   /// Accounts a sealed envelope, fires cfg_.flush_hook, and enqueues it.
   /// `open_ns` is the CoalesceShard::open_ns stamp taken when the envelope
   /// was opened (0 = unknown, reports residency 0).
@@ -376,6 +554,13 @@ class Transport {
   std::vector<std::unique_ptr<CoalesceShard>> coalesce_;
   BufferPool pool_;
 
+  // Reliability sublayer state (empty vectors when the layer is off).
+  std::vector<std::unique_ptr<RetxShard>> retx_;
+  std::vector<std::unique_ptr<RecvShard>> recv_;
+  /// Per-place next allowed pump time (monotone ns) for the poll-path gate.
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> retx_next_pump_;
+  std::uint64_t retx_pump_interval_ns_ = 0;
+
   // Registered memory ranges per place (read-mostly: every one-sided op
   // validates against them, so reads take a shared lock).
   mutable std::shared_mutex reg_mu_;
@@ -391,6 +576,14 @@ class Transport {
   std::atomic<std::uint64_t> coalesce_wire_bytes_{0};
   std::atomic<std::uint64_t> coalesce_bypass_{0};
   std::atomic<std::uint64_t> coalesce_flush_counts_[kNumFlushReasons] = {};
+  std::atomic<std::uint64_t> retx_sent_{0};
+  std::atomic<std::uint64_t> retx_acked_{0};
+  std::atomic<std::uint64_t> retx_retransmits_{0};
+  std::atomic<std::uint64_t> retx_dups_dropped_{0};
+  std::atomic<std::uint64_t> retx_standalone_acks_{0};
+  std::atomic<std::uint64_t> chaos_dropped_{0};
+  std::atomic<std::uint64_t> chaos_duped_{0};
+  std::atomic<std::uint64_t> chaos_bypass_{0};
   std::vector<std::atomic<std::uint64_t>> pair_counts_;  // P*P when enabled
   std::vector<std::atomic<std::uint64_t>> ctrl_pair_counts_;
 

@@ -268,6 +268,70 @@ TEST_P(ChaosFourWorkers, ProtocolSurvivesChaosAndStealing) {
   }
 }
 
+TEST_P(WorkerCounts, RepeatedSplitDerivesStableIds) {
+  // Regression (ISSUE 5): Team::split read the parent's op count without the
+  // member lock while collectives bump it via next_seq() — and with work
+  // stealing, consecutive collectives of one logical rank can run on
+  // different worker threads, so the unlocked read had no happens-before
+  // edge to the last locked increment. The fix reads the count under the
+  // lock *before* the allgather and asserts every member entered the split
+  // at the same count. Repeated rounds with live collective traffic between
+  // splits give TSan the interleavings to check.
+  static constexpr int kPlaces = 4;
+  static constexpr int kRounds = 8;
+  std::atomic<int> ok{0};
+  Runtime::run(cfg_w(kPlaces, GetParam()), [&ok] {
+    finish(Pragma::kSpmd, [&ok] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [&ok] {
+          Team world = Team::world();
+          for (int r = 0; r < kRounds; ++r) {
+            world.barrier();  // bumps op_seq right before split reads it
+            Team half = world.split(world.rank() % 2, world.rank());
+            double v = 1.0;
+            half.allreduce(&v, 1, ReduceOp::kSum);
+            if (static_cast<int>(v) == half.size()) ok.fetch_add(1);
+            world.barrier();
+          }
+        });
+      }
+    });
+  });
+  EXPECT_EQ(ok.load(), kPlaces * kRounds);
+}
+
+TEST(ChaosFourWorkersLossy, FanoutSurvivesDropAndDupWithStealing) {
+  // The reliability sublayer's TSan-audited configuration: four workers per
+  // place race over poll_batch admission (dedup windows, ack processing) and
+  // the retransmit pump while chaos drops and duplicates the wire.
+  for (std::uint64_t seed : kChaosSeeds) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::atomic<int> ran{0};
+    Config cfg = chaos4_cfg(seed);
+    cfg.chaos.drop_prob = 0.05;
+    cfg.chaos.dup_prob = 0.02;
+    cfg.retx_timeout_us = 300;
+    Runtime::run(cfg, [&ran] {
+      finish(Pragma::kDefault, [&ran] {
+        for (int p = 0; p < num_places(); ++p) {
+          asyncAt(p, [&ran] {
+            ran.fetch_add(1);
+            async([&ran] { ran.fetch_add(1); });
+          });
+        }
+      });
+      ASSERT_EQ(ran.load(), 2 * 4);
+    });
+    const auto& m = last_run_metrics();
+    EXPECT_EQ(m.at("finish.snapshots.sent"),
+              m.at("finish.snapshots.applied") +
+                  m.at("finish.snapshots.stale"));
+    EXPECT_EQ(m.at("runtime.tasks_shipped"), m.at("sched.msgs.task"));
+    // Teardown reached the all-acked fixpoint despite active loss.
+    EXPECT_EQ(m.at("transport.retx.sent"), m.at("transport.retx.acked"));
+  }
+}
+
 TEST_P(WorkerCounts, BlockingAtFromSiblingWorkers) {
   std::atomic<long> sum{0};
   Runtime::run(cfg_w(3, GetParam()), [&] {
