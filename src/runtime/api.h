@@ -15,6 +15,7 @@
 #include "runtime/congruent.h"
 #include "runtime/finish.h"
 #include "runtime/runtime.h"
+#include "runtime/task_registry.h"
 #include "runtime/trace.h"
 
 namespace apgas {
@@ -111,24 +112,28 @@ inline void async(std::function<void()> f) {
   rt.sched(here()).push(std::move(act));
 }
 
-/// `at(p) async S`: active message — spawns an activity at place p under the
-/// innermost enclosing finish. Non-blocking.
-inline void asyncAt(int p, std::function<void()> f) {
-  Runtime& rt = Runtime::get();
-  if (p == here()) {
-    async(std::move(f));
-    return;
-  }
+namespace detail {
+
+/// What the remote-spawn bookkeeping produces: the wire finish context (home
+/// pointer stripped — resolved at the destination), the FINISH_HERE credit
+/// travelling with the task, and the causal span pair. Shared by asyncAt
+/// (closure path) and asyncAtFrame (registered-function path).
+struct RemoteSpawn {
+  FinCtx wire;
+  std::uint64_t credit = 0;
   std::uint64_t span = 0;
   std::uint64_t parent_span = 0;
+};
+
+inline RemoteSpawn prepare_remote_spawn(Runtime& rt, int p) {
+  RemoteSpawn rs;
   if (trace::enabled()) {
-    span = rt.new_span(here());
-    parent_span = current_span();
-    trace::emit(trace::Ev::kActivitySpawn, span,
+    rs.span = rt.new_span(here());
+    rs.parent_span = current_span();
+    trace::emit(trace::Ev::kActivitySpawn, rs.span,
                 (1ull << 32) | static_cast<std::uint32_t>(p));
   }
   FinCtx ctx = current_spawn_ctx();
-  std::uint64_t credit = 0;
   if (ctx.home != nullptr) {
     const bool parent_credit = detail::tl_open_finish == nullptr &&
                                detail::tl_activity != nullptr &&
@@ -138,18 +143,52 @@ inline void asyncAt(int p, std::function<void()> f) {
     if (ctx.mode == Pragma::kHere) {
       // Spawns from the finish body mint fresh weight; spawns from a
       // credit-carrying activity split the parent's weight.
-      credit = parent_credit ? take_credit_share(*detail::tl_activity)
-                             : ctx.home->mint_credit();
+      rs.credit = parent_credit ? take_credit_share(*detail::tl_activity)
+                                : ctx.home->mint_credit();
     }
   } else {
     if (fin_before_remote_spawn(rt, ctx, p,
                                 detail::tl_activity->credit != 0)) {
-      credit = take_credit_share(*detail::tl_activity);
+      rs.credit = take_credit_share(*detail::tl_activity);
     }
   }
-  FinCtx wire = ctx;
-  wire.home = nullptr;  // resolved at the destination
-  rt.send_task(p, std::move(f), wire, credit, span, parent_span);
+  rs.wire = ctx;
+  rs.wire.home = nullptr;  // resolved at the destination
+  return rs;
+}
+
+}  // namespace detail
+
+/// `at(p) async S`: active message — spawns an activity at place p under the
+/// innermost enclosing finish. Non-blocking.
+inline void asyncAt(int p, std::function<void()> f) {
+  Runtime& rt = Runtime::get();
+  if (p == here()) {
+    async(std::move(f));
+    return;
+  }
+  detail::RemoteSpawn rs = detail::prepare_remote_spawn(rt, p);
+  rt.send_task(p, std::move(f), rs.wire, rs.credit, rs.span, rs.parent_span);
+}
+
+/// `at(p) async S` for a *registered* task function (task_registry.h) plus
+/// serialized args — the only spawn form that crosses a process boundary
+/// under the socket backend (a closure's environment has no wire form).
+/// In-process it ships the same wire frame through the same handler, so code
+/// written against frames behaves identically on both backends.
+inline void asyncAtFrame(int p, int fn_id, x10rt::ByteBuffer args = {}) {
+  Runtime& rt = Runtime::get();
+  if (p == here()) {
+    TaskFn fn = task_fn(fn_id);  // aborts on a bad id, same as the wire path
+    async([fn, data = args.take_data()]() mutable {
+      x10rt::ByteBuffer b{std::move(data)};
+      fn(b);
+    });
+    return;
+  }
+  detail::RemoteSpawn rs = detail::prepare_remote_spawn(rt, p);
+  rt.send_task_frame(p, fn_id, std::move(args), rs.wire, rs.credit, rs.span,
+                     rs.parent_span);
 }
 
 /// Blocking `at(p) e`: shifts to place p, evaluates f, and returns the

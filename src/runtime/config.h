@@ -6,11 +6,18 @@
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <type_traits>
 
 #include "x10rt/transport.h"
 
 namespace apgas {
+
+/// Which wire carries inter-place traffic (docs/transport.md "Backends").
+enum class BackendKind : std::uint8_t {
+  kInProc,  ///< all places share the process (the default, zero-overhead)
+  kSocket,  ///< one process per place over a Unix-domain socketpair mesh
+};
 
 struct Config {
   /// Number of places. The paper runs one place per core (X10_NTHREADS=1);
@@ -24,6 +31,13 @@ struct Config {
   /// Places per "node" (octant). On the Power 775 this is 32; FINISH_DENSE
   /// routes control traffic through one master place per node.
   int places_per_node = 8;
+
+  /// Wire backend. kSocket forks one process per place (Runtime::run
+  /// delegates to launcher::run_places before constructing anything); a
+  /// 1-place job stays in-process regardless. Reliability is force-armed in
+  /// socket mode (retx_timeout_us defaults to 1000 when unset) because
+  /// cross-process teardown needs the all-acked fixpoint.
+  BackendKind backend = BackendKind::kInProc;
 
   /// Network chaos injection (latency + reordering of queued messages).
   x10rt::ChaosConfig chaos;
@@ -109,6 +123,11 @@ struct Config {
   /// whatever `cfg` already holds, so benches and CI sweep configurations
   /// without recompiling:
   ///
+  ///   APGAS_BACKEND            "socket" or "inproc"
+  ///   APGAS_CHAOS_DROP         chaos.drop_prob  (0.0 .. 1.0)
+  ///   APGAS_CHAOS_DUP          chaos.dup_prob   (0.0 .. 1.0)
+  ///   APGAS_CHAOS_DELAY        chaos.delay_prob (0.0 .. 1.0)
+  ///   APGAS_CHAOS_SEED         chaos.seed
   ///   APGAS_PLACES             places
   ///   APGAS_WORKERS_PER_PLACE  workers_per_place
   ///   APGAS_POLL_BATCH         poll_batch
@@ -131,6 +150,26 @@ struct Config {
       if (end == v || *end != '\0' || parsed < 0) return;
       knob = static_cast<std::remove_reference_t<decltype(knob)>>(parsed);
     };
+    auto read_prob = [](const char* name, double& knob) {
+      const char* v = std::getenv(name);
+      if (v == nullptr || *v == '\0') return;
+      char* end = nullptr;
+      const double parsed = std::strtod(v, &end);
+      if (end == v || *end != '\0' || parsed < 0.0 || parsed > 1.0) return;
+      knob = parsed;
+    };
+    if (const char* b = std::getenv("APGAS_BACKEND");
+        b != nullptr && *b != '\0') {
+      if (std::string_view(b) == "socket") {
+        cfg.backend = BackendKind::kSocket;
+      } else if (std::string_view(b) == "inproc") {
+        cfg.backend = BackendKind::kInProc;
+      }
+    }
+    read_prob("APGAS_CHAOS_DROP", cfg.chaos.drop_prob);
+    read_prob("APGAS_CHAOS_DUP", cfg.chaos.dup_prob);
+    read_prob("APGAS_CHAOS_DELAY", cfg.chaos.delay_prob);
+    read("APGAS_CHAOS_SEED", cfg.chaos.seed);
     read("APGAS_PLACES", cfg.places);
     read("APGAS_WORKERS_PER_PLACE", cfg.workers_per_place);
     read("APGAS_POLL_BATCH", cfg.poll_batch);

@@ -518,11 +518,28 @@ void fin_report_exception(Runtime& rt, const FinCtx& ctx,
     return;
   }
   if (!ctx.key.valid()) std::rethrow_exception(ep);  // system activity
-  // Exceptions ride a closure (std::exception_ptr has no wire form in-
-  // process); a distributed port would serialize type + what() instead
-  // (docs/porting.md).
-  Runtime* rtp = &rt;
   const FinishKey key = ctx.key;
+  if (rt.multi_process() && key.home != rt.local_place()) {
+    // std::exception_ptr has no wire form: serialize what() and rebuild a
+    // std::runtime_error at the home place (rt_am_exception in runtime.cc).
+    std::string what = "remote exception";
+    try {
+      std::rethrow_exception(ep);
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    x10rt::ByteBuffer frame = rt.transport().acquire_buffer();
+    frame.put<std::int32_t>(key.home);
+    frame.put<std::uint64_t>(key.seq);
+    frame.put_string(what);
+    rt.transport().send_am(here(), key.home, rt.am_exception(),
+                           std::move(frame), x10rt::MsgType::kControl);
+    return;
+  }
+  // In-process, exceptions ride a closure instead — the original
+  // exception_ptr reaches the waiter, preserving exact type identity.
+  Runtime* rtp = &rt;
   rt.send_ctrl(
       key.home,
       [rtp, key, ep = std::move(ep)] {

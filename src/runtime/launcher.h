@@ -1,0 +1,60 @@
+// apgas_launch's engine: places as separate processes.
+//
+// run_places is called by Runtime::run *before* any Runtime (and therefore
+// any thread) exists: it builds the full socketpair mesh plus one control
+// socketpair per child, forks cfg.places processes, and each child
+// constructs its own Runtime over a SocketBackend (Runtime::run_child). The
+// parent never hosts a place — it supervises:
+//
+//   * quiescence barrier: each child drains to its local all-acked fixpoint
+//     and reports 'Q' on its control socket; once every 'Q' is in (and any
+//     configured kill injection has fired) the parent broadcasts 'G' and the
+//     children finalize. Between Q and G a child keeps serving retransmits
+//     and acks for slower peers, so the barrier cannot deadlock.
+//   * metrics aggregation: after 'G' each child sends a length-prefixed
+//     key/value metrics blob; the parent sums counters (max for percentile
+//     keys), publishes the aggregate through last_run_metrics(), and writes
+//     cfg.metrics_path (children write per-place files with ".pN" inserted).
+//   * failure supervision: a control-socket EOF before 'Q', a child killed
+//     by a signal, or a nonzero exit status makes the parent report the
+//     failed place on stderr, SIGKILL the remaining children, reap
+//     everything, and exit nonzero — a crashed place never hangs the job.
+//
+// Fault injection for the crash tests: APGAS_LAUNCH_KILL_PLACE=<p> (with
+// optional APGAS_LAUNCH_KILL_AFTER_MS, default 0) SIGKILLs place p once the
+// delay elapses. The parent withholds 'G' until the kill has fired, so the
+// victim is guaranteed to still exist.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/config.h"
+
+namespace apgas::launcher {
+
+/// What a forked place process needs to join the mesh.
+struct SocketWiring {
+  int place = -1;
+  std::vector<int> peer_fds;  ///< indexed by place; -1 for self
+  int ctrl_fd = -1;           ///< status/quiescence channel to the supervisor
+};
+
+/// Forks the mesh and supervises it (see file comment). Returns normally
+/// when every place exited cleanly; on any failure it reports and calls
+/// exit(nonzero). Must be called while the process is single-threaded.
+void run_places(const Config& cfg, std::function<void()> main);
+
+/// Child-side barrier helpers (called from Runtime::run_child).
+void child_report_quiescent(int ctrl_fd);
+/// Non-blocking-ish poll for the go signal; waits at most ~1ms. Returns
+/// true once 'G' arrived. A dead supervisor exits the child immediately.
+bool child_poll_go(int ctrl_fd);
+void child_send_metrics(int ctrl_fd, const std::string& blob);
+
+/// Inserts ".pN" before the path's extension ("m.json" -> "m.p2.json") so
+/// every place process writes its own metrics/trace files.
+std::string per_place_path(const std::string& path, int place);
+
+}  // namespace apgas::launcher

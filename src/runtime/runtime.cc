@@ -1,13 +1,20 @@
 #include "runtime/runtime.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "runtime/api.h"
 #include "runtime/congruent.h"
+#include "runtime/launcher.h"
+#include "runtime/task_registry.h"
 #include "runtime/team.h"
 #include "runtime/trace.h"
 #include "runtime/watchdog.h"
+#include "x10rt/socket_backend.h"
 
 namespace apgas {
 
@@ -19,7 +26,101 @@ thread_local Activity* tl_activity = nullptr;
 thread_local FinishHome* tl_open_finish = nullptr;
 }  // namespace detail
 
-Runtime::Runtime(const Config& cfg) : cfg_(cfg) {
+// --- frame-task registry (task_registry.h) ----------------------------------
+
+namespace {
+std::vector<TaskFn>& task_registry() {
+  static std::vector<TaskFn> fns;
+  return fns;
+}
+}  // namespace
+
+int register_task_fn(TaskFn fn) {
+  auto& fns = task_registry();
+  fns.push_back(fn);
+  return static_cast<int>(fns.size()) - 1;
+}
+
+TaskFn task_fn(int id) {
+  auto& fns = task_registry();
+  if (id < 0 || id >= static_cast<int>(fns.size())) {
+    std::fprintf(stderr,
+                 "[apgas] fatal: task function id %d out of range (%d "
+                 "registered) — every place process must register the same "
+                 "task functions in the same order before Runtime::run\n",
+                 id, static_cast<int>(fns.size()));
+    std::abort();
+  }
+  return fns[static_cast<std::size_t>(id)];
+}
+
+int num_task_fns() { return static_cast<int>(task_registry().size()); }
+
+// --- wire handlers for the cross-process spawn/exception paths --------------
+
+namespace {
+
+/// am_spawn frame: [home i32][seq u64][mode u8][credit u64][span u64]
+/// [parent_span u64][t_send_ns u64][fn_id i32][args...]
+void rt_am_spawn(Runtime& rt, x10rt::ByteBuffer& buf) {
+  FinishKey key;
+  key.home = buf.get<std::int32_t>();
+  key.seq = buf.get<std::uint64_t>();
+  const auto mode_raw = buf.get<std::uint8_t>();
+  if (mode_raw >= static_cast<std::uint8_t>(kNumPragmas)) {
+    std::fprintf(stderr, "[apgas] fatal: spawn frame with bad pragma %u\n",
+                 static_cast<unsigned>(mode_raw));
+    std::abort();
+  }
+  const auto mode = static_cast<Pragma>(mode_raw);
+  const auto credit = buf.get<std::uint64_t>();
+  const auto span = buf.get<std::uint64_t>();
+  const auto parent_span = buf.get<std::uint64_t>();
+  const auto t_send_ns = buf.get<std::uint64_t>();
+  const auto fn_id = buf.get<std::int32_t>();
+  TaskFn fn = task_fn(fn_id);  // aborts on an out-of-range wire id
+  std::vector<std::byte> args(buf.remaining());
+  if (!args.empty()) buf.get_raw(args.data(), args.size());
+  if (t_send_ns != 0 && hist::enabled()) {
+    rt.record_ship_latency(t_send_ns);
+  }
+  Activity act;
+  act.fin = fin_task_received(rt, key, mode);
+  act.credit = credit;
+  act.remote_origin = true;
+  act.span = span;
+  act.parent_span = parent_span;
+  act.body = [fn, args = std::move(args)]() mutable {
+    x10rt::ByteBuffer b{std::move(args)};
+    fn(b);
+  };
+  rt.sched(here()).run_activity(act);
+}
+
+/// am_exception frame: [home i32][seq u64][what string]. Used only across
+/// processes — in-process, fin_report_exception ships the original
+/// exception_ptr so tests keep exact exception-type identity.
+void rt_am_exception(Runtime& rt, x10rt::ByteBuffer& buf) {
+  FinishKey key;
+  key.home = buf.get<std::int32_t>();
+  key.seq = buf.get<std::uint64_t>();
+  const std::string what = buf.get_string();
+  if (key.home != here()) {
+    std::fprintf(stderr,
+                 "[apgas] fatal: exception frame for place %d arrived at "
+                 "place %d\n",
+                 key.home, here());
+    std::abort();
+  }
+  rt.with_home_finish(key, [&what](FinishHome& fh) {
+    fh.on_exception(std::make_exception_ptr(std::runtime_error(what)));
+  });
+}
+
+}  // namespace
+
+Runtime::Runtime(const Config& cfg, const launcher::SocketWiring* wiring)
+    : cfg_(cfg) {
   metrics_ = std::make_unique<MetricsRegistry>();
   finc_.opened = &metrics_->counter("finish.opened");
   finc_.upgrades = &metrics_->counter("finish.upgrades");
@@ -82,6 +183,9 @@ Runtime::Runtime(const Config& cfg) : cfg_(cfg) {
     };
   }
   transport_ = std::make_unique<x10rt::Transport>(tc);
+  if (wiring != nullptr) local_place_ = wiring->place;
+  hist_ship_frame_ = &metrics_->histogram("task.ship_ns");
+  hist_ship_xproc_ = &metrics_->histogram("task.ship_xproc_ns");
   register_transport_gauges();
 
   pstates_.reserve(static_cast<std::size_t>(cfg_.places));
@@ -121,6 +225,26 @@ Runtime::Runtime(const Config& cfg) : cfg_(cfg) {
       [self](x10rt::ByteBuffer& buf) { fin_am_completions(*self, buf); });
   am_credit_ = transport_->register_am(
       [self](x10rt::ByteBuffer& buf) { fin_am_credit(*self, buf); });
+  // Cross-process paths (frame spawns, serialized exceptions, shutdown
+  // broadcast). Registered after the finish AMs so the finish wire protocol
+  // keeps its ids; registration order is identical in every place process.
+  am_spawn_ = transport_->register_am(
+      [self](x10rt::ByteBuffer& buf) { rt_am_spawn(*self, buf); });
+  am_exception_ = transport_->register_am(
+      [self](x10rt::ByteBuffer& buf) { rt_am_exception(*self, buf); });
+  am_shutdown_ = transport_->register_am([self](x10rt::ByteBuffer&) {
+    self->shutdown_.store(true, std::memory_order_release);
+    self->transport_->notify(here());
+  });
+
+  // Attach the wire backend only now that every AM is registered: the
+  // backend's I/O thread starts delivering peer frames immediately, and a
+  // fast peer must never race a frame past an incomplete handler table.
+  if (wiring != nullptr) {
+    transport_->attach_backend(std::make_unique<x10rt::SocketBackend>(
+                                   wiring->place, wiring->peer_fds),
+                               wiring->place);
+  }
 }
 
 Runtime::~Runtime() = default;
@@ -193,6 +317,17 @@ void Runtime::register_transport_gauges() {
                       [tr] { return tr->chaos_duped(); });
   metrics_->add_gauge("transport.chaos.bypass",
                       [tr] { return tr->chaos_bypass(); });
+
+  // Wire backend (docs/transport.md "Backends"): all zero for the in-process
+  // backend, frame/byte tallies of the socket mesh otherwise.
+  metrics_->add_gauge("transport.backend.frames_sent",
+                      [tr] { return tr->backend_stats().frames_sent; });
+  metrics_->add_gauge("transport.backend.frames_received",
+                      [tr] { return tr->backend_stats().frames_received; });
+  metrics_->add_gauge("transport.backend.bytes_sent",
+                      [tr] { return tr->backend_stats().bytes_sent; });
+  metrics_->add_gauge("transport.backend.bytes_received",
+                      [tr] { return tr->backend_stats().bytes_received; });
 }
 
 void Runtime::finalize_observability() {
@@ -206,6 +341,7 @@ void Runtime::finalize_observability() {
   for (bool progressed = true; progressed;) {
     progressed = false;
     for (int p = 0; p < cfg_.places; ++p) {
+      if (!place_is_local(p)) continue;
       detail::tl_place = p;
       // A handler run by step() may have parked small AMs in a coalescing
       // envelope; ship them so the drain reaches a true fixpoint.
@@ -243,6 +379,13 @@ void Runtime::worker_loop(int place, int wid) {
 
 void Runtime::run(const Config& cfg, std::function<void()> main) {
   assert(current_ == nullptr && "only one APGAS runtime may be live");
+  if (cfg.backend == BackendKind::kSocket && cfg.places > 1) {
+    // Places become separate processes. Fork the mesh *before* any Runtime
+    // (and its transport/DMA threads) exists; each child constructs its own
+    // Runtime in run_child and this process only supervises.
+    launcher::run_places(cfg, std::move(main));
+    return;
+  }
   Runtime rt(cfg);
   current_ = &rt;
 
@@ -282,9 +425,156 @@ void Runtime::run(const Config& cfg, std::function<void()> main) {
   current_ = nullptr;
 }
 
+bool Runtime::drain_local_pass() {
+  const int p = local_place_;
+  bool progressed = false;
+  if (transport_->flush_coalesced(p, x10rt::FlushReason::kQuiesce) > 0) {
+    progressed = true;
+  }
+  // Non-force pump: retransmits respect their timers and owed acks ship
+  // once aged (retx_ack_idle_us), so two peers looping this cannot feed
+  // each other a force-retransmit storm while they wait on the barrier.
+  if (transport_->retx_pump(p, /*force=*/false) > 0) progressed = true;
+  while (sched(p).step()) progressed = true;
+  transport_->backend_flush();
+  return progressed;
+}
+
+void Runtime::drain_local_fixpoint() {
+  const int p = local_place_;
+  for (;;) {
+    if (drain_local_pass()) continue;
+    if (transport_->retx_quiescent() && transport_->recv_all_acked(p) &&
+        transport_->inbox_depth(p) == 0 && transport_->backend_tx_drained()) {
+      return;
+    }
+    // Waiting on a peer's ack or retransmit; the backend I/O thread will
+    // deliver it — don't burn the core.
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+int Runtime::run_child(const Config& cfg, std::function<void()> main,
+                       const launcher::SocketWiring& wiring) {
+  assert(current_ == nullptr && "only one APGAS runtime may be live");
+  Config c = cfg;
+  // Socket mode always arms reliability: cross-process teardown is defined
+  // as the all-acked fixpoint, which needs acks to exist. (Chaos drop/dup
+  // would force this anyway; a clean wire just inherits the same contract.)
+  if (c.retx_timeout_us == 0) c.retx_timeout_us = 1000;
+  // Per-place observability files so the place processes don't clobber one
+  // another; the parent writes the aggregate under the original name.
+  c.metrics_path = launcher::per_place_path(cfg.metrics_path, wiring.place);
+  c.trace_path = launcher::per_place_path(cfg.trace_path, wiring.place);
+
+  Runtime rt(c, &wiring);
+  current_ = &rt;
+  const int p = wiring.place;
+  detail::tl_place = p;
+
+  if (p == 0) {
+    Activity boot;
+    Runtime* rtp = &rt;
+    boot.body = [rtp, m = std::move(main)] {
+      finish(Pragma::kAuto, m);
+      // The root finish closed: the job is over. Tell every other place
+      // process, then stop locally.
+      for (int q = 1; q < rtp->places(); ++q) {
+        rtp->transport().send_am(0, q, rtp->am_shutdown_,
+                                 rtp->transport().acquire_buffer(),
+                                 x10rt::MsgType::kControl);
+      }
+      rtp->transport().flush_coalesced(0, x10rt::FlushReason::kQuiesce);
+      rtp->shutdown_.store(true, std::memory_order_release);
+      rtp->transport().notify(0);
+    };
+    rt.sched(0).push(std::move(boot));
+  }
+
+  std::unique_ptr<Watchdog> watchdog;
+  if (c.watchdog_interval_ms > 0) {
+    watchdog = std::make_unique<Watchdog>(
+        rt, std::chrono::milliseconds(c.watchdog_interval_ms),
+        c.watchdog_stall_intervals > 0 ? c.watchdog_stall_intervals : 1);
+    watchdog->start();
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(c.workers_per_place));
+  for (int w = 0; w < c.workers_per_place; ++w) {
+    workers.emplace_back([&rt, p, w] { rt.worker_loop(p, w); });
+  }
+  for (auto& t : workers) t.join();
+  if (watchdog) watchdog->stop();
+
+  // Quiescence barrier: drain to the local all-acked fixpoint, report 'Q',
+  // then keep serving retransmits/acks for slower peers until the
+  // supervisor releases everyone with 'G'.
+  rt.drain_local_fixpoint();
+  launcher::child_report_quiescent(wiring.ctrl_fd);
+  while (!launcher::child_poll_go(wiring.ctrl_fd)) {
+    rt.drain_local_pass();
+  }
+
+  rt.finalize_observability();
+  std::string blob;
+  for (const auto& [k, v] : last_run_metrics()) {
+    blob += k;
+    blob += ' ';
+    blob += std::to_string(v);
+    blob += '\n';
+  }
+  launcher::child_send_metrics(wiring.ctrl_fd, blob);
+  team_detail::registry_clear();
+  current_ = nullptr;
+  detail::tl_place = -1;
+  return 0;
+}
+
+void Runtime::record_ship_latency(std::uint64_t t_send_ns) {
+  const std::uint64_t lat = ship_latency_ns(hist::now_ns(), t_send_ns);
+  if (multi_process()) {
+    hist_ship_xproc_->record(lat);
+  } else {
+    hist_ship_frame_->record(lat);
+  }
+}
+
+void Runtime::send_task_frame(int dst, int fn_id, x10rt::ByteBuffer args,
+                              const FinCtx& ctx, std::uint64_t credit,
+                              std::uint64_t span, std::uint64_t parent_span) {
+  finc_.tasks_shipped->fetch_add(1, std::memory_order_relaxed);
+  trace::emit(trace::Ev::kMsgSend,
+              static_cast<std::uint64_t>(x10rt::MsgType::kTask),
+              static_cast<std::uint64_t>(dst));
+  x10rt::ByteBuffer frame = transport_->acquire_buffer();
+  frame.put<std::int32_t>(ctx.key.home);
+  frame.put<std::uint64_t>(ctx.key.seq);
+  frame.put<std::uint8_t>(static_cast<std::uint8_t>(ctx.mode));
+  frame.put<std::uint64_t>(credit);
+  frame.put<std::uint64_t>(span);
+  frame.put<std::uint64_t>(parent_span);
+  // Ship-time stamp travels inside the frame (not on the Message) so it
+  // survives coalescing into an envelope train.
+  frame.put<std::uint64_t>(hist::enabled() ? hist::now_ns() : 0);
+  frame.put<std::int32_t>(fn_id);
+  if (args.size() != 0) frame.put_raw(args.bytes().data(), args.size());
+  transport_->send_am(here(), dst, am_spawn_, std::move(frame),
+                      x10rt::MsgType::kTask);
+}
+
 void Runtime::send_task(int dst, std::function<void()> body, const FinCtx& ctx,
                         std::uint64_t credit, std::uint64_t span,
                         std::uint64_t parent_span) {
+  if (multi_process() && dst != local_place_) {
+    std::fprintf(stderr,
+                 "[apgas] fatal: closure spawn (asyncAt/at) to place %d "
+                 "cannot cross a process boundary under the socket backend; "
+                 "register the body (register_task_fn) and spawn it with "
+                 "asyncAtFrame\n",
+                 dst);
+    std::abort();
+  }
   finc_.tasks_shipped->fetch_add(1, std::memory_order_relaxed);
   trace::emit(trace::Ev::kMsgSend,
               static_cast<std::uint64_t>(x10rt::MsgType::kTask),

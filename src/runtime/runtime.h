@@ -28,6 +28,10 @@ namespace apgas {
 
 class CongruentSpace;
 
+namespace launcher {
+struct SocketWiring;
+}  // namespace launcher
+
 /// Finish-protocol counters, resolved against the MetricsRegistry once at
 /// startup so the wire-protocol hot paths increment plain atomics (metric
 /// names in docs/observability.md).
@@ -79,8 +83,19 @@ struct PlaceState {
 class Runtime {
  public:
   /// Runs `main` at place 0 under a root finish; returns when the whole job
-  /// has quiesced. Only one Runtime may be live at a time.
+  /// has quiesced. Only one Runtime may be live at a time. With
+  /// cfg.backend == kSocket (and > 1 place) this instead forks one process
+  /// per place via launcher::run_places and supervises them — the calling
+  /// process never hosts a place, and the aggregated metrics land in
+  /// last_run_metrics() as usual.
   static void run(const Config& cfg, std::function<void()> main);
+
+  /// Internal: entry point of one forked place process (launcher.cc calls
+  /// this right after fork). Builds a Runtime over a SocketBackend, runs the
+  /// place (place 0 additionally drives `main` and broadcasts shutdown),
+  /// participates in the quiescence barrier, and ships the metrics blob.
+  static int run_child(const Config& cfg, std::function<void()> main,
+                       const launcher::SocketWiring& wiring);
 
   /// The live runtime (asserts one exists).
   static Runtime& get() {
@@ -91,6 +106,16 @@ class Runtime {
 
   [[nodiscard]] int places() const { return cfg_.places; }
   [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// True when every place is a separate process (socket backend).
+  [[nodiscard]] bool multi_process() const { return local_place_ >= 0; }
+  /// The place this process hosts; -1 when all places are in-process.
+  [[nodiscard]] int local_place() const { return local_place_; }
+  /// Whether place `p`'s state (scheduler counters, inboxes) lives in this
+  /// process — drain loops and the watchdog only inspect local places.
+  [[nodiscard]] bool place_is_local(int p) const {
+    return local_place_ < 0 || local_place_ == p;
+  }
   [[nodiscard]] x10rt::Transport& transport() { return *transport_; }
   [[nodiscard]] PlaceState& pstate(int place) {
     return *pstates_[static_cast<std::size_t>(place)];
@@ -129,8 +154,23 @@ class Runtime {
                  std::uint64_t credit, std::uint64_t span = 0,
                  std::uint64_t parent_span = 0);
 
+  /// Ships a *frame* task — a registered task-function id (task_registry.h)
+  /// plus serialized args — under the given finish context. The only spawn
+  /// path that crosses process boundaries; in-process it behaves exactly
+  /// like send_task. Ship-time is stamped inside the frame (the receiver's
+  /// clock differs across processes, so the sample lands in
+  /// task.ship_xproc_ns there — scheduler.h ship_latency_ns).
+  void send_task_frame(int dst, int fn_id, x10rt::ByteBuffer args,
+                       const FinCtx& ctx, std::uint64_t credit,
+                       std::uint64_t span = 0, std::uint64_t parent_span = 0);
+
   /// Sends a control-message closure (finish protocol traffic).
   void send_ctrl(int dst, std::function<void()> fn, std::size_t bytes);
+
+  /// Records a frame task's ship->execute latency: in-process samples join
+  /// task.ship_ns, cross-process ones are clamped into task.ship_xproc_ns
+  /// (the sender's clock is another process's domain).
+  void record_ship_latency(std::uint64_t t_send_ns);
 
   /// Runs a closure at the home registry entry for `key`, if still present.
   /// Used by control handlers; late messages for released finishes drop.
@@ -146,12 +186,20 @@ class Runtime {
   [[nodiscard]] int am_release() const { return am_release_; }
   [[nodiscard]] int am_completions() const { return am_completions_; }
   [[nodiscard]] int am_credit() const { return am_credit_; }
+  [[nodiscard]] int am_spawn() const { return am_spawn_; }
+  [[nodiscard]] int am_exception() const { return am_exception_; }
 
  private:
-  explicit Runtime(const Config& cfg);
+  explicit Runtime(const Config& cfg,
+                   const launcher::SocketWiring* wiring = nullptr);
   ~Runtime();
   void worker_loop(int place, int wid);
   void register_transport_gauges();
+  /// Drives the local place to its all-acked fixpoint: no queued inbox
+  /// messages, no unacked sends, no owed acks, backend tx drained. One
+  /// `pass` is non-blocking; the child barrier loops it.
+  bool drain_local_pass();
+  void drain_local_fixpoint();
   /// After workers join: snapshot metrics for last_run_metrics(), write the
   /// configured trace/metrics files, tear down the flight recorder.
   void finalize_observability();
@@ -169,6 +217,14 @@ class Runtime {
   int am_release_ = -1;
   int am_completions_ = -1;
   int am_credit_ = -1;
+  int am_spawn_ = -1;
+  int am_exception_ = -1;
+  int am_shutdown_ = -1;
+  int local_place_ = -1;  // >= 0 iff this process hosts exactly one place
+  // Ship-latency histograms for the frame-task path, resolved once (the
+  // closure path's live in Scheduler).
+  Histogram* hist_ship_frame_ = nullptr;
+  Histogram* hist_ship_xproc_ = nullptr;
   std::vector<std::unique_ptr<PlaceState>> pstates_;
   std::unique_ptr<CongruentSpace> congruent_;
   // Per-protocol finish open->close latency histograms, resolved once.

@@ -47,6 +47,7 @@ Scheduler::Scheduler(Runtime& rt, int place)
                                              std::to_string(place) +
                                              ".overflow")),
       hist_ship_(rt.metrics().histogram("task.ship_ns")),
+      hist_ship_xproc_(rt.metrics().histogram("task.ship_xproc_ns")),
       hist_exec_(rt.metrics().histogram("activity.exec_ns")) {
   for (int t = 0; t < x10rt::kNumMsgTypes; ++t) {
     msgs_by_type_[static_cast<std::size_t>(t)] = &rt.metrics().counter(
@@ -196,8 +197,15 @@ void Scheduler::consume_message(x10rt::Message& m) {
   msgs_by_type_[static_cast<std::size_t>(m.type)]->fetch_add(
       1, std::memory_order_relaxed);
   // Ship->execute latency: the sender stamped the message iff histograms
-  // were armed, so an unstamped message costs only this field test.
-  if (m.t_send_ns != 0) hist_ship_.record(hist::now_ns() - m.t_send_ns);
+  // were armed, so an unstamped message costs only this field test. A stamp
+  // minted in another process lands in task.ship_xproc_ns, clamped — its
+  // clock read races ours within granularity and the raw subtraction would
+  // wrap (ship_latency_ns in scheduler.h).
+  if (m.t_send_ns != 0) {
+    const std::uint64_t lat = ship_latency_ns(hist::now_ns(), m.t_send_ns);
+    ((m.rflags & x10rt::kMsgXProc) != 0 ? hist_ship_xproc_ : hist_ship_)
+        .record(lat);
+  }
   m.run();
   messages_processed_.fetch_add(1, std::memory_order_relaxed);
 }

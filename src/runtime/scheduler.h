@@ -39,6 +39,16 @@ namespace apgas {
 
 class Runtime;
 
+/// Ship->execute latency from a sender-side timestamp, clamped to >= 1 ns.
+/// Cross-process stamps come from another process's clock read; even on one
+/// host the two reads can land within clock granularity of each other, and
+/// the former unsigned subtraction turned that into a ~2^64 ns sample that
+/// poisoned the histogram's max (and every percentile above it).
+[[nodiscard]] constexpr std::uint64_t ship_latency_ns(std::uint64_t now_ns,
+                                                      std::uint64_t send_ns) {
+  return now_ns > send_ns ? now_ns - send_ns : 1;
+}
+
 class Scheduler {
  public:
   Scheduler(Runtime& rt, int place);
@@ -156,8 +166,10 @@ class Scheduler {
   // Messages processed by class, shared across places ("sched.msgs.CLASS").
   std::array<MetricsRegistry::Counter*, x10rt::kNumMsgTypes> msgs_by_type_{};
   // Latency histograms (shared across places), resolved once: task
-  // ship->execute (from Message::t_send_ns) and activity body duration.
+  // ship->execute (from Message::t_send_ns; cross-process samples routed to
+  // their own histogram — see consume_message) and activity body duration.
   Histogram& hist_ship_;
+  Histogram& hist_ship_xproc_;
   Histogram& hist_exec_;
 };
 

@@ -75,6 +75,10 @@ void Watchdog::diagnose(int stalled_intervals) const {
 
   x10rt::Transport& tr = rt_.transport();
   for (int q = 0; q < rt_.places(); ++q) {
+    // Under the socket backend this process hosts exactly one place; the
+    // other places' schedulers/inboxes exist but never run, so reporting
+    // their zeros would only bury the signal.
+    if (!rt_.place_is_local(q)) continue;
     Scheduler& s = rt_.sched(q);
     append("  place %d: inbox=%zu overflow=%zu sleepers=%d coalesce_open=%zu "
            "executed=%" PRIu64 " msgs=%" PRIu64 "\n",
@@ -88,6 +92,14 @@ void Watchdog::diagnose(int stalled_intervals) const {
              "us depth=%zu\n",
              q, d.dst, d.oldest_seq, d.age_ns / 1000, d.depth);
     }
+  }
+  // Socket backend: per-peer queue depths. Bytes stuck in tx_pending mean
+  // the peer stopped reading (or died); a fat rx buffer means we are the
+  // slow consumer.
+  for (const auto& d : tr.backend_diag()) {
+    append("  socket peer %d: tx_pending=%zu rx_buffered=%zu\n", d.peer,
+           static_cast<std::size_t>(d.tx_pending_bytes),
+           static_cast<std::size_t>(d.rx_buffered_bytes));
   }
 
   // Open finishes: count them and name the oldest (lowest seq; ties broken

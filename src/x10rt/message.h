@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 namespace x10rt {
 
@@ -41,6 +43,11 @@ inline const char* msg_type_name(MsgType t) {
 /// layer is disabled.
 inline constexpr std::uint8_t kMsgHasAck = 1;  ///< `ack` field is valid
 inline constexpr std::uint8_t kMsgAckOnly = 2; ///< standalone ack, no body
+/// Wire payload is a coalesced envelope train (multi-process backends).
+inline constexpr std::uint8_t kMsgEnvelope = 4;
+/// Crossed a process boundary: t_send_ns is from another clock domain, so
+/// latency consumers must clamp or bucket it separately (task.ship_xproc_ns).
+inline constexpr std::uint8_t kMsgXProc = 8;
 
 /// A message is a closure executed at the destination place by its scheduler,
 /// plus bookkeeping used by the transport layer (type, approximate payload
@@ -68,7 +75,15 @@ struct Message {
   // Cumulative ack piggybacked for the reverse direction: "src has delivered
   // every sequence <= ack of dst's traffic". Valid iff rflags & kMsgHasAck.
   std::uint64_t ack = 0;
-  std::uint8_t rflags = 0;  // kMsgHasAck | kMsgAckOnly
+  std::uint8_t rflags = 0;  // kMsgHasAck | kMsgAckOnly | kMsgEnvelope | kMsgXProc
+  // --- wire form (multi-process backends) ----------------------------------
+  // A message can only leave the process if it has one: a registered AM
+  // (handler >= 0, `wire` = serialized args) or an envelope train
+  // (rflags & kMsgEnvelope, `wire` = the train). Closure-only messages abort
+  // loudly if routed to a remote place. Shared so the reliability layer's
+  // retained retransmit copy does not duplicate the payload bytes.
+  int handler = -1;
+  std::shared_ptr<const std::vector<std::byte>> wire;
 };
 
 }  // namespace x10rt

@@ -1,6 +1,8 @@
 #include "x10rt/transport.h"
 
 #include <algorithm>
+
+#include "x10rt/frame.h"
 #include <cassert>
 #include <chrono>
 #include <cstdio>
@@ -21,7 +23,9 @@ std::uint64_t mono_ns() {
 }  // namespace
 
 Transport::Transport(TransportConfig cfg)
-    : cfg_(cfg), ranges_(static_cast<std::size_t>(cfg.places)) {
+    : cfg_(cfg),
+      backend_(std::make_unique<InProcBackend>()),
+      ranges_(static_cast<std::size_t>(cfg.places)) {
   assert(cfg_.places >= 1);
   if (cfg_.chaos.lossy() && !reliability_enabled()) {
     // A lost message with no retransmit layer wedges every finish protocol
@@ -77,6 +81,9 @@ Transport::Transport(TransportConfig cfg)
 }
 
 Transport::~Transport() {
+  // Stop the backend's I/O thread first: no deliver_frame may run while the
+  // inboxes and shards below it are being torn down.
+  backend_->stop();
   {
     std::scoped_lock lock(dma_mu_);
     dma_stop_ = true;
@@ -182,7 +189,132 @@ void Transport::send_unrecorded(int dst, Message m) {
       !(m.rflags & kMsgAckOnly)) {
     retx_stamp(dst, m);
   }
+  wire_or_remote(dst, std::move(m));
+}
+
+void Transport::wire_or_remote(int dst, Message&& m) {
+  if (multi_proc_ && dst != local_place_) {
+    ship_remote(dst, std::move(m));
+    return;
+  }
   wire_deliver(dst, std::move(m));
+}
+
+void Transport::attach_backend(std::unique_ptr<Backend> backend,
+                               int local_place) {
+  assert(backend && local_place >= 0 && local_place < cfg_.places);
+  if (backend->multi_process() && !reliability_enabled()) {
+    std::fprintf(stderr,
+                 "[x10rt] fatal: a multi-process backend requires the "
+                 "reliability sublayer (set retx_timeout_us > 0 / "
+                 "APGAS_RETX_TIMEOUT_US): cross-process teardown drives "
+                 "the retransmit queues to the all-acked fixpoint\n");
+    std::abort();
+  }
+  backend_ = std::move(backend);
+  multi_proc_ = backend_->multi_process();
+  local_place_ = backend_->local_place();
+  assert(!multi_proc_ || local_place_ == local_place);
+  backend_->start([this](int peer, const std::uint8_t* data, std::size_t len) {
+    deliver_frame(peer, data, len);
+  });
+}
+
+void Transport::ship_remote(int dst, Message&& m) {
+  frame::Header h;
+  if ((m.rflags & kMsgAckOnly) != 0) {
+    h.kind = frame::Kind::kAckOnly;
+  } else if ((m.rflags & kMsgEnvelope) != 0) {
+    h.kind = frame::Kind::kEnvelope;
+  } else if (m.handler >= 0) {
+    h.kind = frame::Kind::kAm;
+  } else {
+    std::fprintf(stderr,
+                 "[x10rt] fatal: %s message to remote place %d has no wire "
+                 "form — closures cannot cross a process boundary (use "
+                 "registered AMs / asyncAtFrame)\n",
+                 msg_type_name(m.type), dst);
+    std::abort();
+  }
+  h.rflags = m.rflags;
+  h.type = m.type;
+  h.src = m.src;
+  h.handler = m.handler;
+  h.seq = m.seq;
+  h.ack = m.ack;
+  h.t_send_ns = m.t_send_ns;
+  const std::byte* payload = nullptr;
+  std::size_t n = 0;
+  if (m.wire) {
+    payload = m.wire->data();
+    n = m.wire->size();
+  }
+  backend_->send_frame(dst, frame::encode(h, payload, n));
+}
+
+void Transport::deliver_frame(int peer, const std::uint8_t* data,
+                              std::size_t len) {
+  const char* err = frame::validate(data, len, cfg_.places,
+                                    static_cast<int>(am_handlers_.size()));
+  frame::Header h;
+  if (err == nullptr) {
+    h = frame::decode_header(data);
+    if (h.src != peer) err = "src place does not match the arrival socket";
+  }
+  if (err != nullptr) {
+    std::fprintf(stderr, "[x10rt] fatal: malformed frame from place %d: %s\n",
+                 peer, err);
+    std::abort();
+  }
+  Message m;
+  m.type = h.type;
+  m.src = h.src;
+  m.seq = h.seq;
+  m.ack = h.ack;
+  m.t_send_ns = h.t_send_ns;
+  m.bytes = h.payload_len;
+  m.rflags = h.rflags | kMsgXProc;
+  switch (h.kind) {
+    case frame::Kind::kAckOnly:
+      m.run = [] {};
+      break;
+    case frame::Kind::kAm: {
+      std::vector<std::byte> payload(h.payload_len);
+      std::memcpy(payload.data(), data + frame::kHeaderBytes, h.payload_len);
+      const AmHandler* fn = &am_handlers_[static_cast<std::size_t>(h.handler)];
+      m.handler = h.handler;
+      // mutable + move: each chaos-dup copy of the Message deep-copies the
+      // closure (and its payload), so a single run consuming the storage
+      // is safe.
+      m.run = [this, fn, payload = std::move(payload)]() mutable {
+        ByteBuffer buf{std::move(payload)};
+        (*fn)(buf);
+        pool_.release(buf.take_data());
+      };
+      break;
+    }
+    case frame::Kind::kEnvelope: {
+      std::vector<std::byte> train(h.payload_len);
+      std::memcpy(train.data(), data + frame::kHeaderBytes, h.payload_len);
+      m.run = [this, train = std::move(train)]() mutable {
+        deliver_envelope(ByteBuffer{std::move(train)});
+      };
+      break;
+    }
+  }
+  // Into the *local* inbox: chaos injection, dedup at poll, and sleeper
+  // wakeup all apply exactly as for an in-process arrival.
+  wire_deliver(local_place_, std::move(m));
+}
+
+bool Transport::recv_all_acked(int place) const {
+  if (!reliability_enabled() || place < 0 || place >= cfg_.places) return true;
+  auto& shard = *recv_[static_cast<std::size_t>(place)];
+  std::scoped_lock lock(shard.mu);
+  for (const auto& rp : shard.per_src) {
+    if (rp.cum > rp.acked_sent) return false;
+  }
+  return true;
 }
 
 void Transport::wire_deliver(int dst, Message m) {
@@ -393,8 +525,8 @@ std::size_t Transport::retx_pump(int place, bool force) {
     retx_standalone_acks_.fetch_add(acks.size(), std::memory_order_relaxed);
   }
   const std::size_t produced = resend.size() + acks.size();
-  for (auto& [d, m] : resend) wire_deliver(d, std::move(m));
-  for (auto& [s, a] : acks) wire_deliver(s, std::move(a));
+  for (auto& [d, m] : resend) wire_or_remote(d, std::move(m));
+  for (auto& [s, a] : acks) wire_or_remote(s, std::move(a));
   return produced;
 }
 
@@ -641,8 +773,25 @@ void Transport::dma_loop() {
   }
 }
 
+namespace {
+/// Shared-memory one-sided ops dereference the target address directly, so
+/// under a multi-process backend a remote put/get/atomic would silently hit
+/// this process's copy of the page — abort instead of corrupting.
+void require_local(bool multi_proc, int local_place, int dst,
+                   const char* what) {
+  if (multi_proc && dst != local_place) {
+    std::fprintf(stderr,
+                 "[x10rt] fatal: %s to remote place %d is not supported by "
+                 "the socket backend (one-sided ops are shared-memory only)\n",
+                 what, dst);
+    std::abort();
+  }
+}
+}  // namespace
+
 void Transport::put(int src, int dst, void* dst_addr, const void* src_addr,
                     std::size_t n, std::function<void()> on_complete) {
+  require_local(multi_proc_, local_place_, dst, "RDMA put");
   assert(is_registered(dst, dst_addr, n) &&
          "RDMA put target must be registered memory");
   submit_dma(DmaOp{dst_addr, src_addr, n, src, std::move(on_complete)},
@@ -652,6 +801,7 @@ void Transport::put(int src, int dst, void* dst_addr, const void* src_addr,
 void Transport::get(int src, int dst, void* local_addr,
                     const void* remote_addr, std::size_t n,
                     std::function<void()> on_complete) {
+  require_local(multi_proc_, local_place_, dst, "RDMA get");
   assert(is_registered(dst, remote_addr, n) &&
          "RDMA get source must be registered memory");
   submit_dma(DmaOp{local_addr, remote_addr, n, src, std::move(on_complete)},
@@ -661,6 +811,7 @@ void Transport::get(int src, int dst, void* local_addr,
 void Transport::remote_xor64(int src, int dst, std::uint64_t* dst_addr,
                              std::uint64_t val) {
   (void)src;
+  require_local(multi_proc_, local_place_, dst, "remote_xor64");
   assert(is_registered(dst, dst_addr, sizeof(std::uint64_t)));
   rdma_ops_.fetch_add(1, std::memory_order_relaxed);
   rdma_bytes_.fetch_add(sizeof(std::uint64_t), std::memory_order_relaxed);
@@ -671,6 +822,7 @@ void Transport::remote_xor64(int src, int dst, std::uint64_t* dst_addr,
 void Transport::remote_add64(int src, int dst, std::uint64_t* dst_addr,
                              std::uint64_t val) {
   (void)src;
+  require_local(multi_proc_, local_place_, dst, "remote_add64");
   assert(is_registered(dst, dst_addr, sizeof(std::uint64_t)));
   rdma_ops_.fetch_add(1, std::memory_order_relaxed);
   rdma_bytes_.fetch_add(sizeof(std::uint64_t), std::memory_order_relaxed);
@@ -757,6 +909,14 @@ void Transport::send_am(int src, int dst, int handler, ByteBuffer payload,
   m.src = src;
   m.type = type;
   m.bytes = wire;
+  if (multi_proc_ && dst != local_place_) {
+    // Wire form instead of a closure: handler id + serialized payload. The
+    // retained retransmit copy shares the payload through m.wire.
+    m.handler = handler;
+    m.wire = std::make_shared<const std::vector<std::byte>>(payload.take_data());
+    send(dst, std::move(m));
+    return;
+  }
   const AmHandler* fn = &am_handlers_[static_cast<std::size_t>(handler)];
   m.run = [this, fn, payload = std::move(payload)]() mutable {
     payload.rewind();
@@ -788,9 +948,14 @@ void Transport::ship_envelope(int src, int dst, ByteBuffer env,
   m.src = src;
   m.type = MsgType::kControl;
   m.bytes = env.size();
-  m.run = [this, env = std::move(env)]() mutable {
-    deliver_envelope(std::move(env));
-  };
+  if (multi_proc_ && dst != local_place_) {
+    m.rflags |= kMsgEnvelope;
+    m.wire = std::make_shared<const std::vector<std::byte>>(env.take_data());
+  } else {
+    m.run = [this, env = std::move(env)]() mutable {
+      deliver_envelope(std::move(env));
+    };
+  }
   // The records were counted at send_am time; the envelope itself must not
   // inflate the per-class statistics.
   send_unrecorded(dst, std::move(m));

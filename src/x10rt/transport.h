@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "x10rt/backend.h"
 #include "x10rt/buffer_pool.h"
 #include "x10rt/envelope.h"
 #include "x10rt/message.h"
@@ -158,6 +159,43 @@ class Transport {
   Transport& operator=(const Transport&) = delete;
 
   [[nodiscard]] int places() const { return cfg_.places; }
+
+  // --- wire backend (docs/transport.md "Backends") -------------------------
+
+  /// Replaces the default InProcBackend with a multi-process wire (the
+  /// socket backend). Must happen before any traffic, from the thread that
+  /// constructed the transport. `local_place` is the one place this process
+  /// hosts: sends to it keep the in-process fast path, sends to every other
+  /// place are encoded into frames and shipped through the backend, and
+  /// inbound frames are delivered into the local inbox (so chaos injection
+  /// and sleeper wakeups behave identically on both backends). Requires the
+  /// reliability sublayer: teardown across processes is driven to the
+  /// all-acked fixpoint, which needs acks to exist.
+  void attach_backend(std::unique_ptr<Backend> backend, int local_place);
+
+  /// True when places live in separate processes.
+  [[nodiscard]] bool multi_process() const { return multi_proc_; }
+  /// The place this process hosts; -1 when every place is in-process.
+  [[nodiscard]] int local_place() const { return local_place_; }
+
+  [[nodiscard]] BackendStats backend_stats() const { return backend_->stats(); }
+  [[nodiscard]] std::vector<BackendPeerDiag> backend_diag() const {
+    return backend_->diag();
+  }
+  /// Opportunistic push of backend tx backlogs (teardown drain loops).
+  void backend_flush() { backend_->flush(); }
+  /// True when the backend holds no undelivered outbound bytes for any peer.
+  [[nodiscard]] bool backend_tx_drained() const {
+    for (const auto& d : backend_->diag()) {
+      if (d.tx_pending_bytes != 0) return false;
+    }
+    return true;
+  }
+
+  /// Receiver-side half of the all-acked fixpoint: true when every sequence
+  /// delivered at `place` has been acked back to its sender (no owed ack
+  /// debt). Trivially true when the reliability layer is off.
+  [[nodiscard]] bool recv_all_acked(int place) const;
 
   /// Enqueues an active message for place `dst`. `m.src` must be the sending
   /// place (used for stats and chaos determinism).
@@ -538,6 +576,16 @@ class Transport {
   /// notify. Retransmissions and standalone acks enter here directly (they
   /// are wire artifacts, never re-stamped and never re-counted).
   void wire_deliver(int dst, Message m);
+  /// Routes a post-stamping message: local places go through wire_deliver,
+  /// remote places (multi-process backend) are encoded and shipped.
+  void wire_or_remote(int dst, Message&& m);
+  /// Encodes `m` into a frame and hands it to the backend. Aborts loudly on
+  /// a message with no wire form (a closure cannot cross processes).
+  void ship_remote(int dst, Message&& m);
+  /// Backend sink: validates an inbound frame (abort on malformed input —
+  /// the wire is untrusted), reconstructs the Message, and enqueues it into
+  /// the local inbox. Runs on the backend's I/O thread.
+  void deliver_frame(int peer, const std::uint8_t* data, std::size_t len);
   /// Accounts a sealed envelope, fires cfg_.flush_hook, and enqueues it.
   /// `open_ns` is the CoalesceShard::open_ns stamp taken when the envelope
   /// was opened (0 = unknown, reports residency 0).
@@ -549,6 +597,9 @@ class Transport {
   void dma_loop();
 
   TransportConfig cfg_;
+  std::unique_ptr<Backend> backend_;
+  bool multi_proc_ = false;  // cached backend_->multi_process()
+  int local_place_ = -1;     // cached backend_->local_place()
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   std::vector<AmHandler> am_handlers_;
   std::vector<std::unique_ptr<CoalesceShard>> coalesce_;

@@ -10,10 +10,17 @@
 // again with chaos actively dropping (5%) and duplicating (2%) sequenced
 // messages while the reliability sublayer retransmits and dedups — and the
 // structural counters must still be exactly equal to the lossless runs.
+// ISSUE 6 adds the *cross-backend differential* dimension (the Diff* tests
+// at the bottom): the same frame-task jobs run on the in-process backend and
+// again as one OS process per place over the socket backend, under the same
+// lossy chaos, and the structural counters must be exactly equal cell by
+// cell — the headline proof that the Backend abstraction does not leak into
+// protocol behavior.
 // Registered in CMake with TEST_PREFIX "chaos_sweep/" so
 // `ctest -R chaos_sweep` selects the whole sweep.
 #include "runtime/api.h"
 #include "runtime/metrics.h"
+#include "runtime/task_registry.h"
 #include "runtime/team.h"
 
 #include <gtest/gtest.h>
@@ -430,6 +437,225 @@ TEST(ChaosSweepTeam, NativeBarrierBackToBackReuse) {
     });
     ASSERT_FALSE(violated.load());
   });
+}
+
+// --- cross-backend differential sweep (ISSUE 6 headline) -------------------
+//
+// The same job runs on the in-process inbox backend and again as one OS
+// process per place over the socket backend, with lossy chaos + coalescing
+// armed in both, and the protocol-structure counters must be *exactly* equal.
+// Jobs are built from registered frame tasks (asyncAtFrame), the only spawn
+// form that can cross a process boundary; registration happens at namespace
+// scope (pre-main, hence pre-fork) so every place process agrees on the ids.
+// Verification goes through the metrics registry, not captured locals: in
+// socket mode the job body runs in forked children whose writes to parent
+// stack variables are invisible (copy-on-write), while counters flow back
+// through the launcher's aggregation.
+
+void bump_ran() {
+  Runtime::get().metrics().counter("test.ran").fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void fn_bump(x10rt::ByteBuffer&) { bump_ran(); }
+const int kFnBump = register_task_fn(&fn_bump);
+
+void fn_bump_nest(x10rt::ByteBuffer&) {
+  bump_ran();
+  async([] { bump_ran(); });  // local closure children are still fine
+}
+const int kFnBumpNest = register_task_fn(&fn_bump_nest);
+
+// Ring chain: bump, then forward to the next place with one hop fewer.
+// Frame: [hops i32]
+void fn_chain(x10rt::ByteBuffer&);
+const int kFnChain = register_task_fn(&fn_chain);
+void fn_chain(x10rt::ByteBuffer& args) {
+  const auto hops = args.get<std::int32_t>();
+  bump_ran();
+  if (hops > 0) {
+    x10rt::ByteBuffer next;
+    next.put<std::int32_t>(hops - 1);
+    asyncAtFrame((here() + 1) % num_places(), kFnChain, std::move(next));
+  }
+}
+
+void fn_local_fanout(x10rt::ByteBuffer&) {
+  bump_ran();
+  finish(Pragma::kLocal, [] {
+    for (int i = 0; i < 4; ++i) async([] { bump_ran(); });
+  });
+}
+const int kFnLocalFanout = register_task_fn(&fn_local_fanout);
+
+/// The structural keys compared across backends. Same spirit as
+/// kStructuralKeys minus "sched.msgs.task": frame tasks ride coalesced
+/// envelopes, so the per-message dequeue split differs between an in-process
+/// inbox and a socket stream while the task count itself ("runtime.
+/// tasks_shipped") stays pinned. "finish.closed" joins the set because in
+/// socket mode it proves the sum over *independent processes* still balances.
+const char* const kDiffKeys[] = {
+    "finish.opened",          "finish.closed",
+    "finish.upgrades",        "runtime.tasks_shipped",
+    "finish.completion_msgs", "finish.credit_msgs",
+    "finish.snapshots.sent",  "finish.releases",
+};
+
+std::map<std::string, std::uint64_t> diff_structural(
+    const std::map<std::string, std::uint64_t>& snap) {
+  std::map<std::string, std::uint64_t> out;
+  for (const char* key : kDiffKeys) {
+    auto it = snap.find(key);
+    out[key] = it == snap.end() ? 0 : it->second;
+  }
+  return out;
+}
+
+/// Runs `job` per seed on both backends — lossy chaos and small coalescing
+/// thresholds armed in both — and asserts (a) the job's own activity count
+/// via the "test.ran" counter, (b) the all-acked teardown fixpoint, (c) exact
+/// equality of the structural counters between backends.
+template <typename Job>
+void run_diff(int places, Job job, std::uint64_t expect_ran,
+              int places_per_node = 8) {
+  for (int s = 0; s < kNumSeeds; ++s) {
+    std::map<std::string, std::uint64_t> reference;
+    for (const bool socket : {false, true}) {
+      SCOPED_TRACE(std::string(socket ? "socket" : "inproc") +
+                   " seed index " + std::to_string(s));
+      Config cfg = chaos_cfg(places, kSeeds[s], places_per_node);
+      arm_lossy(cfg);
+      cfg.coalesce_bytes = 512;
+      cfg.coalesce_msgs = 8;
+      // The differential matrix reuses one metrics/trace path many times per
+      // test; keep these runs silent so CI artifacts stay one-run-per-file.
+      cfg.trace = false;
+      cfg.trace_path.clear();
+      cfg.metrics_path.clear();
+      if (socket) cfg.backend = BackendKind::kSocket;
+      Runtime::run(cfg, job);
+      const auto& m = last_run_metrics();
+      const auto ran_it = m.find("test.ran");
+      ASSERT_EQ(ran_it == m.end() ? 0 : ran_it->second, expect_ran)
+          << "job lost or duplicated activities";
+      // Teardown drained to the all-acked fixpoint on this backend too.
+      EXPECT_EQ(m.at("transport.retx.sent"), m.at("transport.retx.acked"));
+      EXPECT_EQ(m.at("finish.snapshots.sent"),
+                m.at("finish.snapshots.applied") +
+                    m.at("finish.snapshots.stale"));
+      // Ship-latency routing (clock-domain bugfix): with histograms armed,
+      // every shipped frame task records exactly one sample — in-process
+      // into task.ship_ns, cross-process into task.ship_xproc_ns — and the
+      // clamp keeps a skewed clock from poisoning the max with ~2^64 ns.
+      auto val = [&m](const char* k) {
+        auto it = m.find(k);
+        return it == m.end() ? std::uint64_t{0} : it->second;
+      };
+      if (socket) {
+        EXPECT_EQ(val("hist.task.ship_xproc_ns.count"),
+                  m.at("runtime.tasks_shipped"));
+        EXPECT_LT(val("hist.task.ship_xproc_ns.max"), std::uint64_t{1} << 62);
+      } else {
+        EXPECT_EQ(val("hist.task.ship_ns.count"),
+                  m.at("runtime.tasks_shipped"));
+        EXPECT_EQ(val("hist.task.ship_xproc_ns.count"), 0u);
+      }
+      const auto strut = diff_structural(m);
+      if (!socket) {
+        reference = strut;
+      } else {
+        EXPECT_EQ(strut, reference)
+            << "structural counters diverged between the in-process and "
+               "socket backends";
+      }
+    }
+  }
+}
+
+TEST(DiffBackendDefault, FanoutWithNestedChildren) {
+  static constexpr int kPlaces = 4;
+  run_diff(
+      kPlaces,
+      [] {
+        finish(Pragma::kDefault, [] {
+          for (int p = 0; p < num_places(); ++p) {
+            asyncAtFrame(p, kFnBumpNest);
+          }
+        });
+      },
+      /*expect_ran=*/2 * kPlaces);
+}
+
+TEST(DiffBackendAuto, UpgradesThenCompletes) {
+  static constexpr int kPlaces = 4;
+  run_diff(
+      kPlaces,
+      [] {
+        finish([] {  // kAuto: starts local, upgrades on the first frame spawn
+          async([] { bump_ran(); });
+          for (int p = 1; p < num_places(); ++p) {
+            asyncAtFrame(p, kFnBump);
+          }
+        });
+      },
+      /*expect_ran=*/kPlaces);
+}
+
+TEST(DiffBackendAsync, SingleRemoteActivityRepeated) {
+  run_diff(
+      4,
+      [] {
+        for (int i = 0; i < 4; ++i) {
+          finish(Pragma::kAsync, [] { asyncAtFrame(2, kFnBump); });
+        }
+      },
+      /*expect_ran=*/4);
+}
+
+TEST(DiffBackendHere, CreditChainWrapsTheRing) {
+  // hops=5 from place 1 visits 1,2,3,0,1,2 — including a spawn that lands
+  // back on the finish home, exercising the mint-or-split credit path from a
+  // remote process.
+  run_diff(
+      4,
+      [] {
+        finish(Pragma::kHere, [] {
+          x10rt::ByteBuffer args;
+          args.put<std::int32_t>(5);
+          asyncAtFrame(1, kFnChain, std::move(args));
+        });
+      },
+      /*expect_ran=*/6);
+}
+
+TEST(DiffBackendSpmd, LocalFanoutPerPlace) {
+  static constexpr int kPlaces = 4;
+  run_diff(
+      kPlaces,
+      [] {
+        finish(Pragma::kSpmd, [] {
+          for (int p = 1; p < num_places(); ++p) {
+            asyncAtFrame(p, kFnLocalFanout);
+          }
+        });
+      },
+      /*expect_ran=*/5 * (kPlaces - 1));
+}
+
+TEST(DiffBackendDense, RoutedFanout) {
+  static constexpr int kPlaces = 6;
+  // places_per_node = 2 so dense routing actually relays through masters.
+  run_diff(
+      kPlaces,
+      [] {
+        finish(Pragma::kDense, [] {
+          for (int p = 0; p < num_places(); ++p) {
+            asyncAtFrame(p, kFnBumpNest);
+          }
+        });
+      },
+      /*expect_ran=*/2 * kPlaces,
+      /*places_per_node=*/2);
 }
 
 TEST(ChaosSweepTeam, AllreduceSumsEveryRank) {

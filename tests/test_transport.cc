@@ -2,14 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <numeric>
 #include <set>
+#include <string>
 #include <thread>
 #include <tuple>
 #include <vector>
+
+#include "x10rt/socket_backend.h"
 
 namespace {
 
@@ -709,6 +715,144 @@ TEST(BufferPool, DropsOversizeAndSurplus) {
   std::vector<std::byte> empty;
   pool.release(std::move(empty));  // nothing to retain
   EXPECT_EQ(pool.dropped(), 3u);
+}
+
+// --- socketpair harness (ISSUE 6): two Transports, a real wire --------------
+//
+// Each Transport below models one place *process*: it owns only its local
+// place and reaches the other end through a SocketBackend over a real
+// socketpair. This is the backend contract exercised without forking — AM
+// registration order, wire delivery, acks, retransmission over loss, and the
+// closures-cannot-cross guard.
+
+/// Both "processes" must register the same AMs in the same order, exactly
+/// like forked children executing the same constructor (the wire carries
+/// handler *ids*).
+struct WirePair {
+  Transport t0, t1;
+  WirePair(TransportConfig cfg0, TransportConfig cfg1)
+      : t0(std::move(cfg0)), t1(std::move(cfg1)) {}
+
+  /// Attach backends after AM registration (the ordering the Runtime
+  /// constructor guarantees: a fast peer must never race the handler table).
+  void wire() {
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    t0.attach_backend(std::make_unique<x10rt::SocketBackend>(
+                          0, std::vector<int>{-1, sv[0]}),
+                      0);
+    t1.attach_backend(std::make_unique<x10rt::SocketBackend>(
+                          1, std::vector<int>{sv[1], -1}),
+                      1);
+  }
+
+  /// One scheduler-less progress step for both ends: run whatever arrived,
+  /// drive retransmit/ack timers.
+  void pump() {
+    while (auto m = t0.poll(0)) m->run();
+    while (auto m = t1.poll(1)) m->run();
+    t0.retx_pump(0);
+    t1.retx_pump(1);
+  }
+
+  bool quiescent() const {
+    return t0.retx_quiescent() && t1.retx_quiescent();
+  }
+};
+
+TransportConfig socket_cfg(int retx_us = 500) {
+  TransportConfig cfg = make_cfg(2);
+  cfg.retx_timeout_us = static_cast<std::uint64_t>(retx_us);
+  return cfg;
+}
+
+TEST(SocketTransport, AmRoundTripsAndDrainsToAllAcked) {
+  WirePair w(socket_cfg(), socket_cfg());
+  std::vector<std::string> seen;
+  const int h0 = w.t0.register_am([](x10rt::ByteBuffer&) {});
+  const int h1 = w.t1.register_am([&seen](x10rt::ByteBuffer& buf) {
+    seen.push_back(buf.get_string());
+  });
+  ASSERT_EQ(h0, h1);
+  w.wire();
+  x10rt::ByteBuffer payload;
+  payload.put_string("over-the-wire");
+  w.t0.send_am(0, 1, h0, std::move(payload), MsgType::kControl);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((seen.empty() || !w.quiescent()) &&
+         std::chrono::steady_clock::now() < deadline) {
+    w.pump();
+  }
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "over-the-wire");
+  // The ack flowed back: nothing left unconfirmed on either side.
+  EXPECT_TRUE(w.quiescent());
+  EXPECT_GE(w.t0.backend_stats().frames_sent, 1u);
+  EXPECT_GE(w.t1.backend_stats().frames_received, 1u);
+}
+
+TEST(SocketTransport, RetransmitsThroughHeavyReceiverLoss) {
+  // 35% of arrivals at place 1 are dropped *after* crossing the real socket
+  // (chaos injects at the receiving inbox, identically to the in-process
+  // backend). Only retransmission can complete the run; dedup must keep the
+  // delivery count exact anyway.
+  TransportConfig lossy = socket_cfg(/*retx_us=*/300);
+  lossy.chaos.drop_prob = 0.35;
+  lossy.chaos.seed = 0xfeedULL;
+  WirePair w(socket_cfg(/*retx_us=*/300), std::move(lossy));
+  constexpr int kMessages = 50;
+  std::set<int> seen;
+  std::atomic<int> deliveries{0};
+  (void)w.t0.register_am([](x10rt::ByteBuffer&) {});
+  (void)w.t1.register_am([&](x10rt::ByteBuffer& buf) {
+    seen.insert(buf.get<std::int32_t>());
+    deliveries.fetch_add(1);
+  });
+  w.wire();
+  for (int i = 0; i < kMessages; ++i) {
+    x10rt::ByteBuffer b;
+    b.put<std::int32_t>(i);
+    w.t0.send_am(0, 1, 0, std::move(b), MsgType::kControl);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while ((static_cast<int>(seen.size()) < kMessages || !w.quiescent()) &&
+         std::chrono::steady_clock::now() < deadline) {
+    w.pump();
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), kMessages);
+  EXPECT_EQ(deliveries.load(), kMessages);  // exactly-once despite retries
+  EXPECT_TRUE(w.quiescent());
+  EXPECT_GT(w.t0.retx_retransmits(), 0u);
+}
+
+TEST(SocketTransportDeath, ClosureToRemoteProcessAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        WirePair w(socket_cfg(), socket_cfg());
+        w.wire();
+        w.t0.send(1, make_msg(0, [] {}));
+        for (;;) w.pump();
+      },
+      "closures cannot cross a process boundary");
+}
+
+TEST(SocketTransportDeath, MultiProcessBackendRequiresReliability) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        TransportConfig cfg = make_cfg(2);
+        cfg.retx_timeout_us = 0;  // reliability off
+        Transport t(cfg);
+        int sv[2];
+        (void)::socketpair(AF_UNIX, SOCK_STREAM, 0, sv);
+        t.attach_backend(std::make_unique<x10rt::SocketBackend>(
+                             0, std::vector<int>{-1, sv[0]}),
+                         0);
+      },
+      "requires the");
 }
 
 }  // namespace
