@@ -38,4 +38,27 @@ int Machine::hops(int octant_a, int octant_b) const {
   return -1;
 }
 
+int Machine::domain_of_core(long core, int level) const {
+  assert(level >= 0 && level <= 2);
+  const long octant = core / shape_.cores_per_octant;
+  switch (level) {
+    case 0: return static_cast<int>(octant);
+    case 1: return static_cast<int>(octant / shape_.octants_per_drawer);
+    default:
+      return static_cast<int>(octant / shape_.octants_per_drawer /
+                              shape_.drawers_per_supernode);
+  }
+}
+
+int Machine::common_level(long core_a, long core_b) const {
+  return percs::common_level(coord_of_core(core_a), coord_of_core(core_b));
+}
+
+int common_level(const Coord& a, const Coord& b) {
+  if (a.supernode != b.supernode) return 3;
+  if (a.drawer != b.drawer) return 2;
+  if (a.octant != b.octant) return 1;
+  return 0;
+}
+
 }  // namespace percs

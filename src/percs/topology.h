@@ -74,8 +74,25 @@ class Machine {
   /// Number of network hops between two octants (0, 1, or 3: L-D-L).
   [[nodiscard]] int hops(int octant_a, int octant_b) const;
 
+  /// Global index of the hierarchy domain containing `core` at `level`:
+  /// level 0 = octant, 1 = drawer, 2 = supernode. Cores sharing the domain
+  /// index at level L communicate without crossing a level-L+1 link (LL
+  /// within a drawer, LR within a supernode, D across supernodes) — the
+  /// grouping the hierarchical Team collectives build their leader trees on.
+  [[nodiscard]] int domain_of_core(long core, int level) const;
+
+  /// Smallest hierarchy level whose domain contains both cores: 0 = same
+  /// octant (shared memory, no network), 1 = same drawer (LL), 2 = same
+  /// supernode (LR), 3 = different supernodes (D links). The
+  /// nearest-common-ancestor query of the two-level PERCS tree.
+  [[nodiscard]] int common_level(long core_a, long core_b) const;
+
  private:
   MachineShape shape_;
 };
+
+/// Coord-level variant of Machine::common_level for already-decomposed
+/// coordinates (0 octant / 1 drawer / 2 supernode / 3 machine).
+[[nodiscard]] int common_level(const Coord& a, const Coord& b);
 
 }  // namespace percs

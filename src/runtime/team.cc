@@ -3,10 +3,200 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+
+#include "percs/topology.h"
+#include "runtime/metrics.h"
 
 namespace apgas {
 
 namespace team_detail {
+
+const char* op_name(TeamOp op) {
+  switch (op) {
+    case kOpBarrier: return "barrier";
+    case kOpBcast: return "bcast";
+    case kOpReduce: return "reduce";
+    case kOpAllreduce: return "allreduce";
+    case kOpScatter: return "scatter";
+    case kOpGather: return "gather";
+    case kOpAlltoall: return "alltoall";
+    case kOpAllgather: return "allgather";
+    case kOpSplit: return "split";
+  }
+  return "unknown";
+}
+
+void record_op_ns(TeamOp op, std::uint64_t ns) {
+  // Name lookup takes the registry lock, but only when histograms are armed
+  // (the caller gates on hist::enabled()) and only once per collective call.
+  Runtime::get()
+      .metrics()
+      .histogram(std::string("team.op_ns.") + op_name(op))
+      .record(ns);
+}
+
+HierStats& hier_stats() {
+  static HierStats s;
+  return s;
+}
+
+void note_chunk(std::uint64_t op, std::size_t chunk_idx, int dst_rank,
+                std::size_t bytes) {
+  auto& s = hier_stats();
+  s.chunks.fetch_add(1, std::memory_order_relaxed);
+  s.chunk_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  trace::emit(trace::Ev::kTeamChunk,
+              (op << 32) | static_cast<std::uint64_t>(chunk_idx),
+              (static_cast<std::uint64_t>(bytes) << 16) |
+                  static_cast<std::uint64_t>(
+                      static_cast<std::uint16_t>(dst_rank)));
+}
+
+Hierarchy& TeamState::hierarchy() {
+  std::call_once(hier_once, [this] {
+    auto h = std::make_unique<Hierarchy>();
+    const Config& cfg = Runtime::get().config();
+    h->fanout = cfg.team_fanout < 1 ? 1 : cfg.team_fanout;
+    h->chunk_bytes = cfg.team_chunk_bytes;
+    const int nranks = static_cast<int>(members.size());
+    h->domain.assign(static_cast<std::size_t>(nranks),
+                     std::vector<int>(3, 0));
+    if (cfg.team_places_per_octant > 0) {
+      percs::MachineShape shape;
+      shape.cores_per_octant = cfg.team_places_per_octant;
+      shape.octants_per_drawer =
+          cfg.team_octants_per_drawer < 1 ? 1 : cfg.team_octants_per_drawer;
+      shape.drawers_per_supernode = cfg.team_drawers_per_supernode < 1
+                                        ? 1
+                                        : cfg.team_drawers_per_supernode;
+      int max_place = 0;
+      for (int p : members) max_place = std::max(max_place, p);
+      const long per_sn = static_cast<long>(shape.cores_per_octant) *
+                          shape.octants_per_drawer *
+                          shape.drawers_per_supernode;
+      shape.supernodes = static_cast<int>(max_place / per_sn) + 1;
+      const percs::Machine machine(shape);
+      for (int r = 0; r < nranks; ++r) {
+        const long core = members[static_cast<std::size_t>(r)];
+        for (int level = 0; level < 3; ++level) {
+          h->domain[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+              level)] = machine.domain_of_core(core, level);
+        }
+      }
+      h->levels = std::clamp(cfg.team_levels, 1, 3);
+    } else {
+      // No topology model: leaf-group consecutive places per "node" and
+      // hang every leaf leader off one flat root tier.
+      const int per = cfg.places_per_node < 1 ? 1 : cfg.places_per_node;
+      for (int r = 0; r < nranks; ++r) {
+        h->domain[static_cast<std::size_t>(r)][0] =
+            members[static_cast<std::size_t>(r)] / per;
+      }
+      h->levels = 1;
+    }
+    std::map<int, std::vector<int>> by_octant;  // ordered -> stable group ids
+    for (int r = 0; r < nranks; ++r) {
+      by_octant[h->domain[static_cast<std::size_t>(r)][0]].push_back(r);
+    }
+    h->leaf_of.assign(static_cast<std::size_t>(nranks), 0);
+    for (auto& [octant, ranks] : by_octant) {
+      const int gi = static_cast<int>(h->leaf_members.size());
+      for (int r : ranks) h->leaf_of[static_cast<std::size_t>(r)] = gi;
+      h->leaf_members.push_back(ranks);  // ascending: map visit order
+      h->groups.push_back(std::make_unique<GroupShared>());
+    }
+    auto& stats = hier_stats();
+    stats.levels.store(static_cast<std::uint64_t>(h->levels),
+                       std::memory_order_relaxed);
+    stats.leaders.store(h->leaf_members.size(), std::memory_order_relaxed);
+    hier = std::move(h);
+  });
+  return *hier;
+}
+
+const LeaderTree& Hierarchy::tree_for(int root) {
+  std::scoped_lock lock(mu);
+  auto& slot = trees[root];
+  if (slot) return *slot;
+  auto t = std::make_unique<LeaderTree>();
+  const int n = static_cast<int>(leaf_of.size());
+  t->parent.assign(static_cast<std::size_t>(n), -1);
+  t->children.assign(static_cast<std::size_t>(n), {});
+  t->is_leader.assign(static_cast<std::size_t>(n), 0);
+  t->leaf_leader.assign(leaf_members.size(), -1);
+  // Leaf leaders: the op root leads its own group (the promotion that makes
+  // any rank a valid root without regrouping); every other group is led by
+  // its minimum rank.
+  for (std::size_t g = 0; g < leaf_members.size(); ++g) {
+    const auto& ranks = leaf_members[g];
+    int lead = ranks.front();  // ascending, so front() is the minimum
+    for (int r : ranks) {
+      if (r == root) {
+        lead = root;
+        break;
+      }
+    }
+    t->leaf_leader[g] = lead;
+    t->is_leader[static_cast<std::size_t>(lead)] = 1;
+  }
+  // Heap-attach `nodes` under `head`: ordered = [head, rest ascending],
+  // parent of ordered[j] is ordered[(j-1)/fanout] — a complete fanout-ary
+  // tree, so depth is logarithmic in the tier size.
+  auto attach = [&](const std::vector<int>& nodes, int head) {
+    std::vector<int> ordered;
+    ordered.reserve(nodes.size());
+    ordered.push_back(head);
+    for (int r : nodes) {
+      if (r != head) ordered.push_back(r);
+    }
+    for (std::size_t j = 1; j < ordered.size(); ++j) {
+      const int p = ordered[(j - 1) / static_cast<std::size_t>(fanout)];
+      t->parent[static_cast<std::size_t>(ordered[j])] = p;
+      t->children[static_cast<std::size_t>(p)].push_back(ordered[j]);
+    }
+  };
+  // Tier by tier: leaf leaders group by drawer, drawer heads by supernode,
+  // and whatever tier remains hangs under the root. The root heads every
+  // group it belongs to, so it survives to the top by construction.
+  std::vector<int> cur = t->leaf_leader;
+  std::sort(cur.begin(), cur.end());
+  for (int level = 1; level < levels; ++level) {
+    std::map<int, std::vector<int>> by;
+    for (int r : cur) {
+      by[domain[static_cast<std::size_t>(r)][static_cast<std::size_t>(level)]]
+          .push_back(r);
+    }
+    std::vector<int> next;
+    for (auto& [d, nodes] : by) {
+      int head = nodes.front();
+      for (int r : nodes) {
+        if (r == root) {
+          head = root;
+          break;
+        }
+      }
+      attach(nodes, head);
+      next.push_back(head);
+    }
+    std::sort(next.begin(), next.end());
+    cur = std::move(next);
+  }
+  attach(cur, root);
+  int depth = 1;
+  for (int r = 0; r < n; ++r) {
+    if (t->is_leader[static_cast<std::size_t>(r)] == 0) continue;
+    int d = 0;
+    for (int p = r; t->parent[static_cast<std::size_t>(p)] != -1;
+         p = t->parent[static_cast<std::size_t>(p)]) {
+      ++d;
+    }
+    depth = std::max(depth, d);
+  }
+  t->depth = depth;
+  slot = std::move(t);
+  return *slot;
+}
 
 TeamState::TeamState(std::uint64_t team_id, TeamMode m, std::vector<int> mem)
     : id(team_id), mode(m), members(std::move(mem)) {
@@ -38,6 +228,11 @@ std::shared_ptr<TeamState> get_or_create(std::uint64_t id, TeamMode mode,
 void registry_clear() {
   std::scoped_lock lock(g_registry_mu);
   g_registry.clear();
+  auto& s = hier_stats();
+  s.levels.store(0, std::memory_order_relaxed);
+  s.leaders.store(0, std::memory_order_relaxed);
+  s.chunks.store(0, std::memory_order_relaxed);
+  s.chunk_bytes.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace team_detail
@@ -45,7 +240,9 @@ void registry_clear() {
 Team Team::world(TeamMode mode) {
   std::vector<int> members(static_cast<std::size_t>(num_places()));
   for (int p = 0; p < num_places(); ++p) members[static_cast<std::size_t>(p)] = p;
-  const std::uint64_t id = mode == TeamMode::kNative ? 1 : 0;
+  const std::uint64_t id = mode == TeamMode::kNative         ? 1
+                           : mode == TeamMode::kHierarchical ? 2
+                                                             : 0;
   return Team(team_detail::get_or_create(id, mode, members));
 }
 
@@ -111,12 +308,84 @@ void Team::barrier() {
     native_barrier();
     return;
   }
+  if (state_->mode == TeamMode::kHierarchical) {
+    hier_barrier();
+    return;
+  }
   // Dissemination barrier: ceil(log2(n)) rounds of partner signalling.
   const std::uint64_t seq = next_seq();
   const int me = rank();
   for (int round = 0, dist = 1; dist < sz; ++round, dist <<= 1) {
     send_bytes(seq, /*tag=*/100 + round, (me + dist) % sz, {});
     (void)recv_bytes(seq, /*tag=*/100 + round, (me + sz - dist) % sz);
+  }
+}
+
+std::array<std::uint64_t, 4> Team::hier_claim(std::uint64_t pub_delta,
+                                              std::uint64_t arrive_delta,
+                                              std::uint64_t done_delta) {
+  auto& member = *state_->per[static_cast<std::size_t>(rank())];
+  std::scoped_lock lock(member.mu);
+  const std::array<std::uint64_t, 4> out{++member.op_seq, member.g_pub,
+                                         member.g_arrive, member.g_done};
+  member.g_pub += pub_delta;
+  member.g_arrive += arrive_delta;
+  member.g_done += done_delta;
+  return out;
+}
+
+void Team::notify_group(const team_detail::Hierarchy& h, int me) {
+  const int gi = h.leaf_of[static_cast<std::size_t>(me)];
+  for (int r : h.leaf_members[static_cast<std::size_t>(gi)]) {
+    if (r != me) Runtime::get().transport().notify(place_of(r));
+  }
+}
+
+/// Hierarchical barrier: members bump the group `arrive` counter and wait
+/// for one `pub` release; leaf leaders gather (local arrivals, then mail
+/// from tree children), signal up the per-root tree, wait for the release
+/// wave coming back down, relay it to children, and finally publish to
+/// their own group.
+void Team::hier_barrier() {
+  auto& h = state_->hierarchy();
+  const auto& tree = h.tree_for(/*root=*/0);
+  const int me = rank();
+  const int gi = h.leaf_of[static_cast<std::size_t>(me)];
+  auto& g = *h.groups[static_cast<std::size_t>(gi)];
+  const std::size_t gsize = h.leaf_members[static_cast<std::size_t>(gi)].size();
+  const auto [seq, pub_base, arrive_base, done_base] =
+      hier_claim(/*pub=*/1, /*arrive=*/gsize - 1, /*done=*/0);
+  (void)done_base;
+  if (tree.is_leader[static_cast<std::size_t>(me)]) {
+    if (gsize > 1) {
+      const std::uint64_t want = arrive_base + (gsize - 1);
+      Runtime::get().sched(here()).run_until([&g, want] {
+        return g.arrive.load(std::memory_order_acquire) >= want;
+      });
+    }
+    for (int c : tree.children[static_cast<std::size_t>(me)]) {
+      (void)recv_bytes(seq, team_detail::kTagBarrierUp, c);
+    }
+    if (tree.parent[static_cast<std::size_t>(me)] != -1) {
+      const int parent = tree.parent[static_cast<std::size_t>(me)];
+      send_bytes(seq, team_detail::kTagBarrierUp, parent, {});
+      (void)recv_bytes(seq, team_detail::kTagBarrierDown, parent);
+    }
+    for (int c : tree.children[static_cast<std::size_t>(me)]) {
+      send_bytes(seq, team_detail::kTagBarrierDown, c, {});
+    }
+    if (gsize > 1) {
+      g.pub.fetch_add(1, std::memory_order_release);
+      notify_group(h, me);
+    }
+  } else {
+    g.arrive.fetch_add(1, std::memory_order_release);
+    const int leader = tree.leaf_leader[static_cast<std::size_t>(gi)];
+    Runtime::get().transport().notify(place_of(leader));
+    const std::uint64_t want = pub_base + 1;
+    Runtime::get().sched(here()).run_until([&g, want] {
+      return g.pub.load(std::memory_order_acquire) >= want;
+    });
   }
 }
 

@@ -32,6 +32,7 @@ constexpr std::array<const char*, kNumEv> kEvNames = {
     "glb.loot",        // kStealSuccess
     "team",            // kTeamBegin
     "team",            // kTeamEnd
+    "team.chunk",      // kTeamChunk
     "sched.steal",     // kSchedSteal
     "sched.overflow",  // kSchedOverflow
     "coalesce.flush",  // kCoalesceFlush

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -225,10 +226,14 @@ void sweep(int places, Job job, int places_per_node = 8) {
   // A drop can only be survived by a retransmit; if chaos dropped anything
   // across the lossy half of the matrix, the reliability layer must show the
   // matching work. (Jobs with no inter-place traffic legitimately drop 0.)
-  if (total_dropped > 0) EXPECT_GT(total_retransmits, 0u);
+  if (total_dropped > 0) {
+    EXPECT_GT(total_retransmits, 0u);
+  }
   // A duplicate only reaches the dedup window if its copy survives the drop
   // roll, so require a handful before insisting the counter moved.
-  if (total_duped > 4) EXPECT_GT(total_dups_dropped, 0u);
+  if (total_duped > 4) {
+    EXPECT_GT(total_dups_dropped, 0u);
+  }
   std::printf(
       "[chaos-sweep] lossy totals: dropped=%llu duped=%llu retransmits=%llu "
       "dups_dropped=%llu delay_bypass=%llu\n",
@@ -656,6 +661,107 @@ TEST(DiffBackendDense, RoutedFanout) {
       },
       /*expect_ran=*/2 * kPlaces,
       /*places_per_node=*/2);
+}
+
+// --- hierarchical teams under chaos (ISSUE 7) ------------------------------
+//
+// Each finish protocol hosts the same collective round on the hierarchical
+// *and* emulated world teams with identical integer-valued inputs.
+// Integer-valued doubles make floating-point addition exact in every combine
+// order, so the two paths must agree bit for bit — any mismatch means a
+// fragment was lost, duplicated, or mis-offset, not a rounding artifact.
+
+void hier_vs_emulated_round(std::atomic<int>& ok, int salt) {
+  Team hier = Team::world(TeamMode::kHierarchical);
+  Team emu = Team::world(TeamMode::kEmulated);
+  hier.barrier();
+  constexpr std::size_t kN = 65;
+  std::vector<double> a(kN), b(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    a[i] = b[i] =
+        static_cast<double>((hier.rank() + 1) * (static_cast<int>(i) + salt));
+  }
+  bool good = true;
+  hier.allreduce(a.data(), kN, ReduceOp::kSum);
+  emu.allreduce(b.data(), kN, ReduceOp::kSum);
+  good = good && std::memcmp(a.data(), b.data(), kN * sizeof(double)) == 0;
+  // Reduce to a non-zero root (exercises the reroot promotion); non-root
+  // buffers are scratch, so only the root's bits are comparable.
+  const int root = 1 % hier.size();
+  for (std::size_t i = 0; i < kN; ++i) {
+    a[i] = b[i] =
+        static_cast<double>((hier.rank() + 2) * (static_cast<int>(i) + salt));
+  }
+  hier.reduce(root, a.data(), kN, ReduceOp::kSum);
+  emu.reduce(root, b.data(), kN, ReduceOp::kSum);
+  if (hier.rank() == root) {
+    good = good && std::memcmp(a.data(), b.data(), kN * sizeof(double)) == 0;
+  }
+  if (good) ok.fetch_add(1);
+}
+
+TEST(ChaosSweepTeamHier, FanoutProtocolsBitExactVsEmulated) {
+  static constexpr int kPlaces = 6;
+  sweep(
+      kPlaces,
+      [] {
+        int salt = 1;
+        for (Pragma pr : {Pragma::kDefault, Pragma::kAuto, Pragma::kSpmd,
+                          Pragma::kDense}) {
+          std::atomic<int> ok{0};
+          finish(pr, [&] {
+            for (int p = 0; p < num_places(); ++p) {
+              asyncAt(p, [&ok, salt] { hier_vs_emulated_round(ok, salt); });
+            }
+          });
+          ASSERT_EQ(ok.load(), kPlaces) << "pragma " << pragma_name(pr);
+          ++salt;
+        }
+      },
+      /*places_per_node=*/4);  // uneven leaf groups: {0..3} and {4,5}
+}
+
+TEST(ChaosSweepTeamHier, AsyncHereLocalProtocolsBitExactVsEmulated) {
+  static constexpr int kPlaces = 4;
+  sweep(
+      kPlaces,
+      [] {
+        // kAsync / kHere allow one remote child per finish; open one finish
+        // per place concurrently (as local asyncs) so the collective rounds
+        // can rendezvous — blocked finishes pump the scheduler.
+        int salt = 10;
+        for (Pragma pr : {Pragma::kAsync, Pragma::kHere}) {
+          std::atomic<int> ok{0};
+          finish(Pragma::kDefault, [&] {
+            for (int p = 0; p < num_places(); ++p) {
+              async([&ok, p, pr, salt] {
+                finish(pr, [&ok, p, salt] {
+                  asyncAt(p,
+                          [&ok, salt] { hier_vs_emulated_round(ok, salt); });
+                });
+              });
+            }
+          });
+          ASSERT_EQ(ok.load(), kPlaces) << "pragma " << pragma_name(pr);
+          ++salt;
+        }
+        // kLocal cannot spawn remotely; run it around purely local fan-out
+        // at every place, then the collective round after it closes.
+        std::atomic<int> ok{0};
+        finish(Pragma::kSpmd, [&] {
+          for (int p = 0; p < num_places(); ++p) {
+            asyncAt(p, [&ok] {
+              std::atomic<int> n{0};
+              finish(Pragma::kLocal, [&] {
+                for (int i = 0; i < 4; ++i) async([&n] { n.fetch_add(1); });
+              });
+              if (n.load() == 4) hier_vs_emulated_round(ok, 20);
+            });
+          }
+        });
+        ASSERT_EQ(ok.load(), kPlaces);
+      },
+      /*places_per_node=*/2);  // two places per leaf group: depth-2 tree
 }
 
 TEST(ChaosSweepTeam, AllreduceSumsEveryRank) {

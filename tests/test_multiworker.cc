@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <vector>
 
 namespace {
 
@@ -330,6 +331,53 @@ TEST(ChaosFourWorkersLossy, FanoutSurvivesDropAndDupWithStealing) {
     // Teardown reached the all-acked fixpoint despite active loss.
     EXPECT_EQ(m.at("transport.retx.sent"), m.at("transport.retx.acked"));
   }
+}
+
+TEST_P(WorkerCounts, HierarchicalCollectivesStressWithRepeatedSplit) {
+  // ISSUE 7 tsan stress: hierarchical barrier/bcast/allreduce back to back
+  // at multiple workers per place. Work stealing means consecutive
+  // collectives of one logical rank run on different worker threads, so the
+  // cumulative group counters (GroupShared pub/arrive/done) and the
+  // per-member mirror bases get real cross-thread interleavings; repeated
+  // split rebuilds a child hierarchy every round and runs chunked ops on it.
+  static constexpr int kPlaces = 6;
+  static constexpr int kRounds = 6;
+  std::atomic<int> ok{0};
+  Config cfg = cfg_w(kPlaces, GetParam());  // places_per_node = 4: 2 groups
+  cfg.team_chunk_bytes = 128;               // force multi-fragment pipelines
+  Runtime::run(cfg, [&ok] {
+    finish(Pragma::kSpmd, [&ok] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [&ok] {
+          Team world = Team::world(TeamMode::kHierarchical);
+          for (int r = 0; r < kRounds; ++r) {
+            bool good = true;
+            world.barrier();
+            const int root = r % world.size();
+            std::vector<double> buf(200,
+                                    world.rank() == root ? r + 0.5 : 0.0);
+            world.bcast(root, buf.data(), buf.size());
+            for (double v : buf) good = good && v == r + 0.5;
+            long acc = world.rank() + r;
+            world.allreduce(&acc, 1, ReduceOp::kSum);
+            good = good && acc == 15 + static_cast<long>(kPlaces) * r;
+            // Split into halves; the child rebuilds its own hierarchy and
+            // must survive chunked collectives immediately.
+            Team half = world.split(world.rank() % 2, world.rank());
+            good = good && half.mode() == TeamMode::kHierarchical;
+            std::vector<long> sub(40, half.rank());
+            half.allreduce(sub.data(), sub.size(), ReduceOp::kSum);
+            const long want =
+                static_cast<long>(half.size()) * (half.size() - 1) / 2;
+            for (long v : sub) good = good && v == want;
+            world.barrier();
+            if (good) ok.fetch_add(1);
+          }
+        });
+      }
+    });
+  });
+  EXPECT_EQ(ok.load(), kPlaces * kRounds);
 }
 
 TEST_P(WorkerCounts, BlockingAtFromSiblingWorkers) {

@@ -6,6 +6,8 @@
 namespace {
 
 using percs::BandwidthModel;
+using percs::Coord;
+using percs::common_level;
 using percs::LinkType;
 using percs::Machine;
 using percs::MachineShape;
@@ -58,6 +60,40 @@ TEST(Topology, HopCountsAtMostThree) {
   for (int a : {0, 17, 63, 200}) {
     for (int b : {0, 31, 64, 1500}) {
       EXPECT_LE(m.hops(a, b), 3);
+    }
+  }
+}
+
+TEST(Topology, DomainOfCorePerLevel) {
+  Machine m;  // 32 cores/octant, 8 octants/drawer, 4 drawers/supernode
+  // Core 0 sits in the first domain at every level.
+  for (int level : {0, 1, 2}) EXPECT_EQ(m.domain_of_core(0, level), 0);
+  // Core 300: octant 9 (= drawer 1, second octant), drawer 1, supernode 0.
+  EXPECT_EQ(m.domain_of_core(300, 0), 9);
+  EXPECT_EQ(m.domain_of_core(300, 1), 1);
+  EXPECT_EQ(m.domain_of_core(300, 2), 0);
+  // First core of supernode 1: 32 octants * 32 cores = 1024.
+  EXPECT_EQ(m.domain_of_core(1024, 0), 32);
+  EXPECT_EQ(m.domain_of_core(1024, 1), 4);
+  EXPECT_EQ(m.domain_of_core(1024, 2), 1);
+  // Domain indices are global, consistent with coord_of_core.
+  const Coord c = m.coord_of_core(5000);
+  EXPECT_EQ(m.domain_of_core(5000, 2), c.supernode);
+}
+
+TEST(Topology, CommonLevelIsNearestCommonAncestor) {
+  Machine m;
+  EXPECT_EQ(m.common_level(0, 0), 0);      // same core
+  EXPECT_EQ(m.common_level(0, 31), 0);     // same octant
+  EXPECT_EQ(m.common_level(0, 32), 1);     // neighbour octant, same drawer
+  EXPECT_EQ(m.common_level(0, 256), 2);    // next drawer, same supernode
+  EXPECT_EQ(m.common_level(0, 1024), 3);   // next supernode
+  // Symmetry and coord-level agreement.
+  for (long a : {0L, 300L, 1024L, 5000L}) {
+    for (long b : {31L, 257L, 2048L}) {
+      EXPECT_EQ(m.common_level(a, b), m.common_level(b, a));
+      EXPECT_EQ(m.common_level(a, b),
+                common_level(m.coord_of_core(a), m.coord_of_core(b)));
     }
   }
 }

@@ -1,5 +1,6 @@
-// Team collectives under both the emulated (point-to-point) and native
-// ("hardware") paths — the paper §3.3 split.
+// Team collectives under the emulated (point-to-point), native
+// ("hardware"), and hierarchical (topology-aware leader tree) paths —
+// the paper §3.3 split plus docs/collectives.md.
 #include "runtime/team.h"
 
 #include <gtest/gtest.h>
@@ -21,13 +22,18 @@ Config cfg_n(int places) {
 
 class TeamModes : public ::testing::TestWithParam<TeamMode> {};
 
-INSTANTIATE_TEST_SUITE_P(EmulatedAndNative, TeamModes,
+INSTANTIATE_TEST_SUITE_P(AllModes, TeamModes,
                          ::testing::Values(TeamMode::kEmulated,
-                                           TeamMode::kNative),
+                                           TeamMode::kNative,
+                                           TeamMode::kHierarchical),
                          [](const auto& info) {
-                           return info.param == TeamMode::kEmulated
-                                      ? "Emulated"
-                                      : "Native";
+                           switch (info.param) {
+                             case TeamMode::kEmulated: return "Emulated";
+                             case TeamMode::kNative: return "Native";
+                             case TeamMode::kHierarchical:
+                               return "Hierarchical";
+                           }
+                           return "Unknown";
                          });
 
 TEST_P(TeamModes, BarrierSynchronizesAllPlaces) {
@@ -207,6 +213,185 @@ TEST(Team, RowColumnSplitLikeHpl) {
           if (row == 0) row_team.bcast(0, &v, 1);
           col_team.bcast(0, &v, 1);
           EXPECT_DOUBLE_EQ(v, 42.0);
+        });
+      }
+    });
+  });
+}
+
+TEST(TeamHier, PlanChunksIsElementAlignedAndCovers) {
+  using team_detail::plan_chunks;
+  auto p = plan_chunks(/*bytes=*/8000, /*chunk_bytes=*/3001, /*elem=*/8);
+  EXPECT_EQ(p.chunk % 8, 0u);
+  EXPECT_EQ(p.chunk, 3000u);  // 3001 rounded down to an 8-byte multiple
+  EXPECT_EQ(p.nchunks, 3u);   // 3000 + 3000 + 2000
+  EXPECT_EQ(plan_chunks(0, 4096, 8).nchunks, 0u);
+  // chunk_bytes == 0 disables pipelining: one fragment.
+  EXPECT_EQ(plan_chunks(1 << 20, 0, 8).nchunks, 1u);
+  // chunk_bytes below the element size is raised to one element.
+  EXPECT_EQ(plan_chunks(64, 3, 8).chunk, 8u);
+}
+
+TEST(TeamHier, TopologyGroupingAndRootPromotion) {
+  Config cfg;
+  cfg.places = 16;
+  cfg.team_places_per_octant = 4;
+  cfg.team_octants_per_drawer = 2;
+  cfg.team_drawers_per_supernode = 2;
+  cfg.team_levels = 3;
+  Runtime::run(cfg, [&] {
+    finish(Pragma::kSpmd, [&] {
+      asyncAt(0, [] {
+        Team t = Team::world(TeamMode::kHierarchical);
+        auto& h = t.hierarchy();
+        EXPECT_EQ(h.levels, 3);
+        ASSERT_EQ(h.leaf_members.size(), 4u);  // 16 places / 4 per octant
+        for (int g = 0; g < 4; ++g) {
+          ASSERT_EQ(h.leaf_members[g].size(), 4u);
+          for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(h.leaf_members[g][i], g * 4 + i);
+            EXPECT_EQ(h.leaf_of[g * 4 + i], g);
+          }
+        }
+        // Root 0 heads everything: parent -1, every other group led by its
+        // minimum rank, and all leaders reachable from 0.
+        const auto& t0 = h.tree_for(0);
+        EXPECT_EQ(t0.parent[0], -1);
+        EXPECT_EQ(t0.leaf_leader[0], 0);
+        EXPECT_EQ(t0.leaf_leader[1], 4);
+        EXPECT_EQ(t0.leaf_leader[2], 8);
+        EXPECT_EQ(t0.leaf_leader[3], 12);
+        // Rerooting at 5 promotes 5 to leader of its whole chain: its own
+        // octant (displacing 4) and the top of the tree.
+        const auto& t5 = h.tree_for(5);
+        EXPECT_EQ(t5.leaf_leader[1], 5);
+        EXPECT_TRUE(t5.is_leader[5]);
+        EXPECT_FALSE(t5.is_leader[4]);
+        EXPECT_EQ(t5.parent[5], -1);
+        for (int g : {0, 2, 3}) {
+          const int lead = t5.leaf_leader[g];
+          EXPECT_EQ(lead, g * 4);  // min rank of the group
+          // Every non-root leader has a parent path ending at 5.
+          int p = lead;
+          int hops = 0;
+          while (t5.parent[p] != -1 && hops < 16) {
+            p = t5.parent[p];
+            ++hops;
+          }
+          EXPECT_EQ(p, 5);
+        }
+      });
+    });
+  });
+}
+
+TEST(TeamHier, FallbackGroupsByPlacesPerNode) {
+  Config cfg;
+  cfg.places = 6;
+  cfg.places_per_node = 4;  // no topology model configured
+  Runtime::run(cfg, [&] {
+    finish(Pragma::kSpmd, [&] {
+      asyncAt(0, [] {
+        Team t = Team::world(TeamMode::kHierarchical);
+        auto& h = t.hierarchy();
+        EXPECT_EQ(h.levels, 1);
+        ASSERT_EQ(h.leaf_members.size(), 2u);
+        EXPECT_EQ(h.leaf_members[0], (std::vector<int>{0, 1, 2, 3}));
+        EXPECT_EQ(h.leaf_members[1], (std::vector<int>{4, 5}));
+      });
+    });
+  });
+}
+
+TEST(TeamHier, ChunkedLargePayloadBcastAndAllreduce) {
+  Config cfg;
+  cfg.places = 8;
+  cfg.places_per_node = 3;     // uneven groups: {0,1,2} {3,4,5} {6,7}
+  cfg.team_chunk_bytes = 256;  // force many fragments per op
+  Runtime::run(cfg, [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [] {
+          Team t = Team::world(TeamMode::kHierarchical);
+          const std::size_t n = 10'000;  // 80 KB -> 313 fragments
+          std::vector<double> buf(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            buf[i] = t.rank() == 5 ? static_cast<double>(i) : -1.0;
+          }
+          t.bcast(5, buf.data(), n);
+          for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_DOUBLE_EQ(buf[i], static_cast<double>(i));
+          }
+          std::vector<long> acc(1001, t.rank());
+          t.allreduce(acc.data(), acc.size(), ReduceOp::kSum);
+          const long want = static_cast<long>(t.size()) * (t.size() - 1) / 2;
+          for (long v : acc) ASSERT_EQ(v, want);
+        });
+      }
+    });
+  });
+}
+
+TEST(TeamHier, BackToBackMixedOpsReuseGroupCounters) {
+  // Cumulative group counters + per-member mirrors must survive immediate
+  // reuse across op kinds with no intervening quiescence.
+  Config cfg;
+  cfg.places = 8;
+  cfg.places_per_node = 4;
+  cfg.team_chunk_bytes = 64;
+  Runtime::run(cfg, [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [] {
+          Team t = Team::world(TeamMode::kHierarchical);
+          for (int iter = 0; iter < 25; ++iter) {
+            const int root = iter % t.size();
+            std::vector<long> buf(33, t.rank() == root ? iter : 0);
+            t.bcast(root, buf.data(), buf.size());
+            for (long v : buf) ASSERT_EQ(v, iter);
+            t.barrier();
+            long v = iter + t.rank();
+            t.allreduce(&v, 1, ReduceOp::kSum);
+            ASSERT_EQ(v, 8L * iter + 28);
+          }
+        });
+      }
+    });
+  });
+}
+
+TEST(TeamHier, SplitRebuildsHierarchyFromSurvivors) {
+  // Regression: a split-derived team must propagate the parent's mode and
+  // rebuild its own leader hierarchy from the surviving members' places —
+  // not inherit the parent's grouping (which indexes ranks that no longer
+  // exist in the child).
+  Config cfg;
+  cfg.places = 8;
+  cfg.places_per_node = 4;
+  Runtime::run(cfg, [&] {
+    finish(Pragma::kSpmd, [&] {
+      for (int p = 0; p < num_places(); ++p) {
+        asyncAt(p, [] {
+          Team world = Team::world(TeamMode::kHierarchical);
+          world.barrier();
+          const int color = world.rank() % 2;
+          Team sub = world.split(color, world.rank());
+          EXPECT_EQ(sub.mode(), TeamMode::kHierarchical);
+          EXPECT_EQ(sub.size(), 4);
+          auto& h = sub.hierarchy();
+          // Evens {0,2,4,6} and odds {1,3,5,7} both straddle the node
+          // boundary at place 4: two leaf groups of two survivors each.
+          ASSERT_EQ(h.leaf_members.size(), 2u);
+          EXPECT_EQ(h.leaf_members[0].size(), 2u);
+          EXPECT_EQ(h.leaf_members[1].size(), 2u);
+          for (int root = 0; root < sub.size(); ++root) {
+            std::vector<double> buf(300, sub.rank() == root ? 7.5 : 0.0);
+            sub.bcast(root, buf.data(), buf.size());
+            for (double v : buf) ASSERT_DOUBLE_EQ(v, 7.5);
+          }
+          long v = sub.rank();
+          sub.allreduce(&v, 1, ReduceOp::kSum);
+          ASSERT_EQ(v, 6);  // 0+1+2+3
         });
       }
     });
