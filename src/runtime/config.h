@@ -2,8 +2,10 @@
 // of places and the place→node mapping are fixed at launch, MPI-style).
 #pragma once
 
+#include <cerrno>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <string_view>
@@ -73,6 +75,29 @@ struct Config {
   /// Standalone-ack idle threshold: a receiver owing an ack with no reverse
   /// traffic to piggyback on sends one after this many microseconds.
   std::uint64_t retx_ack_idle_us = 200;
+
+  // --- online self-tuning (docs/transport.md "Adaptive tuning") ------------
+
+  /// Arms the per-place autotune controller (runtime/autotune.h): dynamic
+  /// per-(src,dst) coalescing flush thresholds, Jacobson/Karels adaptive
+  /// retransmit timers, and an adaptive worker park-backoff ceiling. 0 — the
+  /// default — never constructs the controller: no hook is installed and
+  /// every knob behaves bit-for-bit as the static configuration.
+  int autotune = 0;
+
+  /// Latency budget for coalescing-envelope residency (microseconds): the
+  /// controller shrinks a pair's flush threshold while the residency EWMA
+  /// exceeds it and grows back toward `coalesce_bytes` when residency sits
+  /// at half budget or below with size-flushes dominating.
+  std::uint64_t autotune_residency_budget_us = 50;
+
+  /// Idle worker park backoff (docs/scheduler.md): the first park lasts
+  /// `park_backoff_min_us`, doubling per idle round up to
+  /// `park_backoff_max_us`. The defaults reproduce the previously hardcoded
+  /// 1µs -> 200µs ramp; the autotune controller moves the effective ceiling
+  /// inside this same [min, max] band.
+  std::uint64_t park_backoff_min_us = 1;
+  std::uint64_t park_backoff_max_us = 200;
 
   // --- hierarchical Team collectives (docs/collectives.md) -----------------
 
@@ -173,34 +198,57 @@ struct Config {
   ///   APGAS_RETX_TIMEOUT_US    retx_timeout_us (0 disables reliability)
   ///   APGAS_RETX_BACKOFF_MAX_US retx_backoff_max_us
   ///   APGAS_RETX_ACK_IDLE_US   retx_ack_idle_us
+  ///   APGAS_AUTOTUNE           autotune (nonzero arms the controller)
+  ///   APGAS_AUTOTUNE_RESIDENCY_BUDGET_US autotune_residency_budget_us
+  ///   APGAS_PARK_BACKOFF_MIN_US park_backoff_min_us
+  ///   APGAS_PARK_BACKOFF_MAX_US park_backoff_max_us
   ///   APGAS_HIST               histograms (nonzero arms them)
   ///   APGAS_WATCHDOG_MS        watchdog_interval_ms (nonzero starts it)
   ///   APGAS_WATCHDOG_INTERVALS watchdog_stall_intervals
   ///
-  /// Unset or non-numeric variables leave the knob untouched.
+  /// Unset variables leave the knob untouched. A variable that is set but
+  /// malformed — empty, non-numeric, trailing garbage, negative, or out of
+  /// range — aborts naming the variable: a typo'd override silently running
+  /// the default configuration is a miscalibrated experiment, not a
+  /// fallback.
   static void apply_env(Config& cfg) {
-    auto read = [](const char* name, auto& knob) {
+    auto die = [](const char* name, const char* value, const char* expected) {
+      std::fprintf(stderr,
+                   "[apgas] fatal: invalid value \"%s\" for %s (expected %s)\n",
+                   value, name, expected);
+      std::abort();
+    };
+    auto read = [&die](const char* name, auto& knob) {
       const char* v = std::getenv(name);
-      if (v == nullptr || *v == '\0') return;
+      if (v == nullptr) return;
       char* end = nullptr;
+      errno = 0;
       const long long parsed = std::strtoll(v, &end, 10);
-      if (end == v || *end != '\0' || parsed < 0) return;
+      if (*v == '\0' || end == v || *end != '\0' || errno == ERANGE ||
+          parsed < 0) {
+        die(name, v, "a non-negative integer");
+      }
       knob = static_cast<std::remove_reference_t<decltype(knob)>>(parsed);
     };
-    auto read_prob = [](const char* name, double& knob) {
+    auto read_prob = [&die](const char* name, double& knob) {
       const char* v = std::getenv(name);
-      if (v == nullptr || *v == '\0') return;
+      if (v == nullptr) return;
       char* end = nullptr;
+      errno = 0;
       const double parsed = std::strtod(v, &end);
-      if (end == v || *end != '\0' || parsed < 0.0 || parsed > 1.0) return;
+      if (*v == '\0' || end == v || *end != '\0' || errno == ERANGE ||
+          parsed < 0.0 || parsed > 1.0) {
+        die(name, v, "a probability in [0, 1]");
+      }
       knob = parsed;
     };
-    if (const char* b = std::getenv("APGAS_BACKEND");
-        b != nullptr && *b != '\0') {
+    if (const char* b = std::getenv("APGAS_BACKEND"); b != nullptr) {
       if (std::string_view(b) == "socket") {
         cfg.backend = BackendKind::kSocket;
       } else if (std::string_view(b) == "inproc") {
         cfg.backend = BackendKind::kInProc;
+      } else {
+        die("APGAS_BACKEND", b, "\"socket\" or \"inproc\"");
       }
     }
     read_prob("APGAS_CHAOS_DROP", cfg.chaos.drop_prob);
@@ -222,6 +270,11 @@ struct Config {
     read("APGAS_RETX_TIMEOUT_US", cfg.retx_timeout_us);
     read("APGAS_RETX_BACKOFF_MAX_US", cfg.retx_backoff_max_us);
     read("APGAS_RETX_ACK_IDLE_US", cfg.retx_ack_idle_us);
+    read("APGAS_AUTOTUNE", cfg.autotune);
+    read("APGAS_AUTOTUNE_RESIDENCY_BUDGET_US",
+         cfg.autotune_residency_budget_us);
+    read("APGAS_PARK_BACKOFF_MIN_US", cfg.park_backoff_min_us);
+    read("APGAS_PARK_BACKOFF_MAX_US", cfg.park_backoff_max_us);
     int hist = cfg.histograms ? 1 : 0;
     read("APGAS_HIST", hist);
     cfg.histograms = hist != 0;

@@ -149,19 +149,45 @@ Runtime::Runtime(const Config& cfg, const launcher::SocketWiring* wiring)
   tc.dma_threads = cfg_.dma_threads;
   tc.coalesce_bytes = cfg_.coalesce_bytes;
   tc.coalesce_msgs = cfg_.coalesce_msgs;
+  // Online tuning controller (docs/transport.md "Adaptive tuning"), built
+  // before the transport so its signal sinks can ride the hooks below. With
+  // APGAS_AUTOTUNE unset no controller exists: no tick/rtt hook is installed,
+  // no dynamic threshold or timer is ever written, and the transport runs
+  // its static configuration bit-for-bit.
+  if (cfg_.autotune > 0) {
+    Autotune::Knobs kn;
+    kn.residency_budget_us = cfg_.autotune_residency_budget_us;
+    kn.coalesce_bytes_cap = cfg_.coalesce_bytes;
+    kn.retx_timeout_us = cfg_.retx_timeout_us;
+    kn.retx_backoff_max_us = cfg_.retx_backoff_max_us;
+    kn.park_min_us = cfg_.park_backoff_min_us;
+    kn.park_max_us = cfg_.park_backoff_max_us;
+    autotune_ = std::make_unique<Autotune>(cfg_.places, kn);
+    autotune_->set_adjust_hook([](int place, int dst, Autotune::Knob knob,
+                                  std::uint64_t value) {
+      trace::emit_at(place, trace::Ev::kAutotuneAdjust, value,
+                     (static_cast<std::uint64_t>(knob) << 32) |
+                         static_cast<std::uint32_t>(dst));
+    });
+  }
+  Autotune* at = autotune_.get();
   // The transport stays runtime-agnostic; it reports envelope flushes
-  // through this hook and the runtime forwards them to the flight recorder
-  // and the envelope-residency histogram.
+  // through this hook and the runtime forwards them to the flight recorder,
+  // the envelope-residency histogram, and (when armed) the controller.
   Histogram* env_hist = &metrics_->histogram("envelope.residency_ns");
-  tc.flush_hook = [env_hist](int src, int dst, std::uint32_t records,
-                             x10rt::FlushReason reason,
-                             std::uint64_t residency_ns) {
+  tc.flush_hook = [env_hist, at](int src, int dst, std::uint32_t records,
+                                 x10rt::FlushReason reason,
+                                 std::uint64_t residency_ns) {
     trace::emit_at(src, trace::Ev::kCoalesceFlush,
                    static_cast<std::uint64_t>(records),
                    (static_cast<std::uint64_t>(reason) << 32) |
                        static_cast<std::uint32_t>(dst));
     if (residency_ns != 0 && hist::enabled()) env_hist->record(residency_ns);
+    if (at != nullptr) at->on_flush(src, dst, records, reason, residency_ns);
   };
+  if (at != nullptr) {
+    tc.tick_hook = [at](int place) { at->maybe_tick(place); };
+  }
   // Reliability sublayer knobs + observability hooks (docs/transport.md
   // "Reliability"): timeouts land in the flight recorder, ack latencies of
   // retransmitted sequences in the retx.ack_latency_ns histogram.
@@ -181,8 +207,16 @@ Runtime::Runtime(const Config& cfg, const launcher::SocketWiring* wiring)
                                      std::uint32_t /*attempts*/) {
       if (hist::enabled()) retx_hist->record(latency_ns);
     };
+    if (at != nullptr) {
+      // First-transmission ack latencies (Karn-filtered by the transport)
+      // feed the per-pair SRTT estimators.
+      tc.rtt_sample_hook = [at](int src, int dst, std::uint64_t rtt_ns) {
+        at->on_rtt_sample(src, dst, rtt_ns);
+      };
+    }
   }
   transport_ = std::make_unique<x10rt::Transport>(tc);
+  if (autotune_ != nullptr) autotune_->attach_transport(transport_.get());
   if (wiring != nullptr) local_place_ = wiring->place;
   hist_ship_frame_ = &metrics_->histogram("task.ship_ns");
   hist_ship_xproc_ = &metrics_->histogram("task.ship_xproc_ns");
@@ -204,6 +238,13 @@ Runtime::Runtime(const Config& cfg, const launcher::SocketWiring* wiring)
       // An idle place retransmits its timed-out traffic and settles owed
       // acks without waiting for the next poll tick.
       ps->sched->add_idle_hook([this, p] { transport_->retx_pump(p); });
+    }
+    if (autotune_ != nullptr) {
+      // Idle transitions are a natural adjustment point (and the only one a
+      // place that stopped sending would ever reach — poll ticks stop with
+      // the traffic).
+      autotune_->attach_scheduler(p, ps->sched.get());
+      ps->sched->add_idle_hook([at, p] { at->maybe_tick(p); });
     }
     pstates_.push_back(std::move(ps));
   }
@@ -328,6 +369,22 @@ void Runtime::register_transport_gauges() {
                       [tr] { return tr->backend_stats().bytes_sent; });
   metrics_->add_gauge("transport.backend.bytes_received",
                       [tr] { return tr->backend_stats().bytes_received; });
+
+  // Online tuning controller (docs/transport.md "Adaptive tuning"). Only
+  // registered when armed so a static run's metrics dump is unchanged.
+  if (autotune_ != nullptr) {
+    Autotune* at = autotune_.get();
+    metrics_->add_gauge("autotune.ticks", [at] { return at->ticks(); });
+    metrics_->add_gauge("autotune.adjust.up", [at] { return at->adjust_up(); });
+    metrics_->add_gauge("autotune.adjust.down",
+                        [at] { return at->adjust_down(); });
+    metrics_->add_gauge("autotune.rto_updates",
+                        [at] { return at->rto_updates(); });
+    metrics_->add_gauge("autotune.rtt_samples",
+                        [at] { return at->rtt_samples(); });
+    metrics_->add_gauge("autotune.park_adjusts",
+                        [at] { return at->park_adjusts(); });
+  }
 
   // Hierarchical Team collectives (docs/collectives.md): levels/leaders
   // describe the most recently built hierarchy, chunks/chunk_bytes tally

@@ -35,6 +35,15 @@ Scheduler::Scheduler(Runtime& rt, int place)
       poll_batch_(rt.config().poll_batch < 1
                       ? 1
                       : static_cast<std::size_t>(rt.config().poll_batch)),
+      park_min_us_(rt.config().park_backoff_min_us < 1
+                       ? 1
+                       : rt.config().park_backoff_min_us),
+      park_ceiling_us_(rt.config().park_backoff_max_us < park_min_us_
+                           ? park_min_us_
+                           : rt.config().park_backoff_max_us),
+      park_max_us_(rt.config().park_backoff_max_us < park_min_us_
+                       ? park_min_us_
+                       : rt.config().park_backoff_max_us),
       activities_executed_(rt.metrics().counter(
           "sched.p" + std::to_string(place) + ".activities_executed")),
       messages_processed_(rt.metrics().counter(
@@ -257,7 +266,6 @@ void Scheduler::run_until(const std::function<bool()>& done) {
   // producers out of the notify path) through short work gaps; on an
   // oversubscribed machine yield() also donates the slice to the producer.
   constexpr int kSpinRounds = 6;
-  constexpr auto kMaxPark = 200us;
   int idle_rounds = 0;
   while (!done()) {
     if (step()) {
@@ -280,8 +288,15 @@ void Scheduler::run_until(const std::function<bool()>& done) {
     }
     int shift = idle_rounds - kSpinRounds - 1;
     if (shift > 8) shift = 8;
-    auto park = std::chrono::microseconds(1ll << shift);
-    if (park > kMaxPark) park = kMaxPark;
+    // Exponential ramp from the configured minimum, capped by the ceiling —
+    // which the autotune controller may move inside [park_backoff_min_us,
+    // park_backoff_max_us]. The default 1µs -> 200µs band reproduces the
+    // previously hardcoded constants exactly.
+    auto park = std::chrono::microseconds(
+        static_cast<std::int64_t>(park_min_us_) << shift);
+    const auto ceiling = std::chrono::microseconds(
+        park_ceiling_us_.load(std::memory_order_relaxed));
+    if (park > ceiling) park = ceiling;
     rt_.transport().enter_idle(place_);
     if (done() || step()) {
       rt_.transport().exit_idle(place_);
@@ -303,6 +318,12 @@ void Scheduler::add_idle_hook(std::function<void()> hook) {
   const auto* raw = next.get();
   hook_snapshots_.emplace_back(std::move(next));
   hooks_.store(raw, std::memory_order_release);
+}
+
+void Scheduler::set_park_ceiling_us(std::uint64_t us) {
+  if (us < park_min_us_) us = park_min_us_;
+  if (us > park_max_us_) us = park_max_us_;
+  park_ceiling_us_.store(us, std::memory_order_relaxed);
 }
 
 }  // namespace apgas

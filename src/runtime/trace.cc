@@ -37,6 +37,7 @@ constexpr std::array<const char*, kNumEv> kEvNames = {
     "sched.overflow",  // kSchedOverflow
     "coalesce.flush",  // kCoalesceFlush
     "retx.timeout",    // kRetxTimeout
+    "autotune.adjust",  // kAutotuneAdjust
 };
 
 constexpr bool all_events_named() {

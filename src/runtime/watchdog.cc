@@ -92,6 +92,19 @@ void Watchdog::diagnose(int stalled_intervals) const {
              "us depth=%zu\n",
              q, d.dst, d.oldest_seq, d.age_ns / 1000, d.depth);
     }
+    // Adaptive controller: a stall with a collapsed threshold or a wildly
+    // wrong RTO points at the tuner, not the workload.
+    if (Autotune* at = rt_.autotune()) {
+      for (const auto& d : at->pair_diag(q)) {
+        append("    autotune %d->%d: threshold=%zuB residency_ewma=%" PRIu64
+               "ns srtt=%" PRIu64 "us rttvar=%" PRIu64 "us rto=%" PRIu64
+               "us\n",
+               q, d.dst, d.threshold, d.residency_ewma_ns, d.srtt_us,
+               d.rttvar_us, d.rto_us);
+      }
+      append("    autotune place %d: park_ceiling=%" PRIu64 "us\n", q,
+             at->park_ceiling_us(q));
+    }
   }
   // Socket backend: per-peer queue depths. Bytes stuck in tx_pending mean
   // the peer stopped reading (or died); a fat rx buffer means we are the

@@ -45,6 +45,10 @@ Transport::Transport(TransportConfig cfg)
     auto shard = std::make_unique<CoalesceShard>();
     shard->per_dst.resize(static_cast<std::size_t>(cfg_.places));
     shard->open_ns.resize(static_cast<std::size_t>(cfg_.places), 0);
+    shard->dyn_bytes =
+        std::vector<std::atomic<std::size_t>>(static_cast<std::size_t>(cfg_.places));
+    shard->dyn_bypass = std::vector<std::atomic<std::uint64_t>>(
+        static_cast<std::size_t>(cfg_.places));
     coalesce_.push_back(std::move(shard));
   }
   if (reliability_enabled()) {
@@ -340,7 +344,10 @@ void Transport::retx_stamp(int dst, Message& m) {
     m.seq = ++pair.next_seq;
     RetxEntry e;
     e.first_send_ns = now;
-    e.backoff_us = cfg_.retx_timeout_us;
+    // Adaptive per-pair initial timeout when a controller has estimated one
+    // (autotune.h); the static knob otherwise. Backoff doubling and its cap
+    // are unchanged either way.
+    e.backoff_us = pair.rto_us != 0 ? pair.rto_us : cfg_.retx_timeout_us;
     e.next_retx_ns = now + e.backoff_us * 1000;
     e.attempts = 1;
     // Retained after the seq is stamped; the piggybacked ack below is *not*
@@ -415,6 +422,7 @@ void Transport::retx_process_ack(int place, int peer, std::uint64_t ack) {
   };
   std::vector<AckedHook> hooked;
   std::uint64_t n = 0;
+  std::uint64_t rtt_sample = 0;
   {
     auto& shard = *retx_[static_cast<std::size_t>(place)];
     std::scoped_lock lock(shard.mu);
@@ -422,7 +430,10 @@ void Transport::retx_process_ack(int place, int peer, std::uint64_t ack) {
     if (ack <= pair.cum_acked) return;
     pair.cum_acked = ack;
     const std::uint64_t now =
-        (cfg_.retx_acked_hook && !pair.unacked.empty()) ? mono_ns() : 0;
+        ((cfg_.retx_acked_hook || cfg_.rtt_sample_hook) &&
+         !pair.unacked.empty())
+            ? mono_ns()
+            : 0;
     auto it = pair.unacked.begin();
     while (it != pair.unacked.end() && it->first <= ack) {
       ++n;
@@ -430,6 +441,12 @@ void Transport::retx_process_ack(int place, int peer, std::uint64_t ack) {
         const std::uint64_t lat =
             now > it->second.first_send_ns ? now - it->second.first_send_ns : 1;
         hooked.push_back({lat, it->second.attempts});
+      } else if (it->second.attempts == 1 && cfg_.rtt_sample_hook) {
+        // Karn's rule: only never-retransmitted sequences produce RTT
+        // samples. Keep the newest (highest seq = latest first send) so one
+        // cumulative ack contributes at most one sample.
+        rtt_sample =
+            now > it->second.first_send_ns ? now - it->second.first_send_ns : 1;
       }
       it = pair.unacked.erase(it);
     }
@@ -438,6 +455,7 @@ void Transport::retx_process_ack(int place, int peer, std::uint64_t ack) {
   for (const auto& h : hooked) {
     cfg_.retx_acked_hook(place, peer, h.latency_ns, h.attempts);
   }
+  if (rtt_sample != 0) cfg_.rtt_sample_hook(place, peer, rtt_sample);
 }
 
 void Transport::retx_maybe_pump(int place) {
@@ -612,6 +630,14 @@ std::optional<Message> Transport::poll(int place) {
 std::size_t Transport::poll_batch(int place, std::deque<Message>& out,
                                   std::size_t max) {
   auto& box = *inboxes_[static_cast<std::size_t>(place)];
+  // Adaptive-tuning tick point on the poll hot path, decimated 1-in-64 so a
+  // tight poll loop pays a load+store, not a clock read, per call. The
+  // controller time-gates the actual tick; one branch when no controller.
+  if (cfg_.tick_hook) {
+    const std::uint64_t n = box.tick_polls.load(std::memory_order_relaxed);
+    box.tick_polls.store(n + 1, std::memory_order_relaxed);
+    if ((n & 63) == 0) cfg_.tick_hook(place);
+  }
   if (!reliability_enabled()) {
     std::scoped_lock lock(box.mu);
     if (box.queue.empty() && !box.delayed.empty()) {
@@ -841,8 +867,20 @@ void Transport::send_am(int src, int dst, int handler, ByteBuffer payload,
          handler < static_cast<int>(am_handlers_.size()) &&
          "send_am with unregistered handler");
   const std::size_t wire = payload.size() + sizeof(int);
-  if (coalescing_enabled() && src >= 0 && src < cfg_.places &&
-      envelope::kRecordHeaderBytes + payload.size() < cfg_.coalesce_bytes) {
+  // The flush threshold is the per-pair dynamic one when a controller has
+  // set it, the static cap otherwise (dyn 0 = untouched, so the disabled
+  // path costs exactly one relaxed load here). Admission and the size-flush
+  // decision below use the same captured value: a threshold below the
+  // record size diverts the pair's sends to the direct path.
+  std::size_t cap = 0;
+  std::size_t dyn = 0;
+  if (coalescing_enabled() && src >= 0 && src < cfg_.places) {
+    dyn = coalesce_[static_cast<std::size_t>(src)]
+              ->dyn_bytes[static_cast<std::size_t>(dst)]
+              .load(std::memory_order_relaxed);
+    cap = dyn != 0 ? dyn : cfg_.coalesce_bytes;
+  }
+  if (cap != 0 && envelope::kRecordHeaderBytes + payload.size() < cap) {
     // Coalesced path. The logical message is accounted *now* (per record,
     // per class) so protocol metrics don't depend on when the wire flushes.
     count_logical(src, dst, type, wire);
@@ -855,6 +893,7 @@ void Transport::send_am(int src, int dst, int handler, ByteBuffer payload,
     {
       auto& shard = *coalesce_[static_cast<std::size_t>(src)];
       std::scoped_lock lock(shard.mu);
+      shard.dirty.store(true, std::memory_order_relaxed);
       auto& w = shard.per_dst[static_cast<std::size_t>(dst)];
       if (!w.is_open()) {
         // Envelope storage comes from the shard's spare stash when it has
@@ -874,7 +913,7 @@ void Transport::send_am(int src, int dst, int handler, ByteBuffer payload,
       // The payload was copied into the envelope; park its storage in the
       // shard (lock already held) and recycle per envelope, not per record.
       shard.spare.push_back(payload.take_data());
-      if (w.bytes() >= cfg_.coalesce_bytes) {
+      if (w.bytes() >= cap) {
         ship = true;
         reason = FlushReason::kSize;
       } else if (w.records() >=
@@ -903,7 +942,22 @@ void Transport::send_am(int src, int dst, int handler, ByteBuffer payload,
     return;
   }
   if (coalescing_enabled()) {
-    coalesce_bypass_.fetch_add(1, std::memory_order_relaxed);
+    if (dyn != 0 &&
+        envelope::kRecordHeaderBytes + payload.size() < cfg_.coalesce_bytes) {
+      // Small enough for the static cap — the dynamic threshold diverted it.
+      // Counted per pair only (the controller's probe-up signal); the global
+      // bypass counter keeps meaning "record too large to coalesce". The
+      // bump is a load+store pair, not an RMW: this is a rate estimate, not
+      // protocol books, and increments lost to concurrent senders only dull
+      // the estimate while keeping the collapsed path near the disabled
+      // path's cost.
+      auto& byp = coalesce_[static_cast<std::size_t>(src)]
+                      ->dyn_bypass[static_cast<std::size_t>(dst)];
+      byp.store(byp.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+    } else {
+      coalesce_bypass_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   Message m;
   m.src = src;
@@ -990,6 +1044,13 @@ void Transport::deliver_envelope(ByteBuffer env) {
 std::size_t Transport::flush_coalesced(int src, FlushReason reason) {
   if (!coalescing_enabled() || src < 0 || src >= cfg_.places) return 0;
   auto& shard = *coalesce_[static_cast<std::size_t>(src)];
+  // Nothing parked and nothing to recycle: return without the shard lock.
+  // Idle-hook flushes hit this constantly on pairs the dynamic threshold
+  // collapsed (every send went direct), and the flush must cost one load
+  // there. A racing sender that sets `dirty` after this load loses nothing:
+  // its record is caught by the next flush attempt or by its own size/count
+  // trigger.
+  if (!shard.dirty.load(std::memory_order_relaxed)) return 0;
   // Seal everything under the shard lock, ship outside it: ship_envelope
   // takes the destination inbox mutex and runs the flush hook, neither of
   // which belongs in the shard critical section.
@@ -997,6 +1058,7 @@ std::size_t Transport::flush_coalesced(int src, FlushReason reason) {
   std::vector<std::vector<std::byte>> recycle;
   {
     std::scoped_lock lock(shard.mu);
+    shard.dirty.store(false, std::memory_order_relaxed);
     recycle.swap(shard.spare);
     if (shard.active.empty()) {
       if (recycle.empty()) return 0;
@@ -1018,6 +1080,60 @@ std::size_t Transport::flush_coalesced(int src, FlushReason reason) {
     ship_envelope(src, dst, std::move(env), n, reason, opened);
   }
   return ready.size();
+}
+
+void Transport::set_coalesce_threshold(int src, int dst, std::size_t bytes) {
+  if (!coalescing_enabled() || src < 0 || src >= cfg_.places || dst < 0 ||
+      dst >= cfg_.places) {
+    return;
+  }
+  if (bytes > cfg_.coalesce_bytes) bytes = cfg_.coalesce_bytes;
+  coalesce_[static_cast<std::size_t>(src)]
+      ->dyn_bytes[static_cast<std::size_t>(dst)]
+      .store(bytes, std::memory_order_relaxed);
+}
+
+std::size_t Transport::coalesce_threshold(int src, int dst) const {
+  if (!coalescing_enabled() || src < 0 || src >= cfg_.places || dst < 0 ||
+      dst >= cfg_.places) {
+    return 0;
+  }
+  const std::size_t dyn = coalesce_[static_cast<std::size_t>(src)]
+                              ->dyn_bytes[static_cast<std::size_t>(dst)]
+                              .load(std::memory_order_relaxed);
+  return dyn != 0 ? dyn : cfg_.coalesce_bytes;
+}
+
+std::uint64_t Transport::coalesce_dyn_bypass(int src, int dst) const {
+  if (!coalescing_enabled() || src < 0 || src >= cfg_.places || dst < 0 ||
+      dst >= cfg_.places) {
+    return 0;
+  }
+  return coalesce_[static_cast<std::size_t>(src)]
+      ->dyn_bypass[static_cast<std::size_t>(dst)]
+      .load(std::memory_order_relaxed);
+}
+
+void Transport::set_retx_rto(int src, int dst, std::uint64_t rto_us) {
+  if (!reliability_enabled() || src < 0 || src >= cfg_.places || dst < 0 ||
+      dst >= cfg_.places) {
+    return;
+  }
+  auto& shard = *retx_[static_cast<std::size_t>(src)];
+  std::scoped_lock lock(shard.mu);
+  shard.per_dst[static_cast<std::size_t>(dst)].rto_us = rto_us;
+}
+
+std::uint64_t Transport::retx_rto_us(int src, int dst) const {
+  if (!reliability_enabled() || src < 0 || src >= cfg_.places || dst < 0 ||
+      dst >= cfg_.places) {
+    return 0;
+  }
+  auto& shard = *retx_[static_cast<std::size_t>(src)];
+  std::scoped_lock lock(shard.mu);
+  const std::uint64_t dyn =
+      shard.per_dst[static_cast<std::size_t>(dst)].rto_us;
+  return dyn != 0 ? dyn : cfg_.retx_timeout_us;
 }
 
 std::uint64_t Transport::count(MsgType t) const {

@@ -74,6 +74,10 @@ inline const char* flush_reason_name(FlushReason r) {
 /// Feature gate for the reliability sublayer (ISSUE 5).
 #define APGAS_HAVE_RELIABILITY 1
 
+/// Feature gate for the adaptive-tuning mechanism (dynamic per-pair flush
+/// thresholds + adaptive retransmit timers; ISSUE 8).
+#define APGAS_HAVE_ADAPTIVE_TUNING 1
+
 /// Chaos injection: with probability `delay_prob` a message is parked in a
 /// side pool and released later in randomized order (delivery remains
 /// guaranteed: pollers drain the pool once the main queue is empty). With
@@ -118,6 +122,21 @@ struct TransportConfig {
   std::function<void(int src, int dst, std::uint32_t records, FlushReason,
                      std::uint64_t residency_ns)>
       flush_hook;
+
+  // --- adaptive tuning hooks (docs/transport.md "Adaptive tuning") ---------
+  // All unset by default; the transport never adapts on its own. An online
+  // controller (runtime/autotune.h) installs them and drives
+  // set_coalesce_threshold()/set_retx_rto() from what they report.
+
+  /// Invoked from poll_batch() before the batch is taken — the controller's
+  /// time-gated tick point on the poll hot path. Costs one branch when unset.
+  std::function<void(int place)> tick_hook;
+
+  /// First-transmission ack latency sample for a (src,dst) pair: fired from
+  /// ack processing for the newest acked sequence that was never
+  /// retransmitted (Karn's rule — a retransmitted sequence's latency is
+  /// ambiguous and never sampled). At most one sample per processed ack.
+  std::function<void(int src, int dst, std::uint64_t rtt_ns)> rtt_sample_hook;
 
   // --- reliability sublayer (docs/transport.md "Reliability") --------------
 
@@ -358,6 +377,33 @@ class Transport {
         std::memory_order_relaxed);
   }
 
+  // --- adaptive knobs (driven by an online controller; see autotune.h) -----
+
+  /// Sets the dynamic flush threshold for the (src,dst) envelope writer,
+  /// clamped to the static cap. Both the admission check (record small
+  /// enough to coalesce) and the size-flush decision use it, so a value
+  /// below the record size diverts the pair's sends to the direct path.
+  /// 0 restores the static `coalesce_bytes`. No-op when coalescing is off.
+  void set_coalesce_threshold(int src, int dst, std::size_t bytes);
+
+  /// Effective flush threshold for the pair (the dynamic value if one is
+  /// set, the static cap otherwise; 0 when coalescing is off).
+  [[nodiscard]] std::size_t coalesce_threshold(int src, int dst) const;
+
+  /// Sends small enough for the static cap that the *dynamic* threshold
+  /// diverted to the direct path — the controller's probe-upward signal.
+  [[nodiscard]] std::uint64_t coalesce_dyn_bypass(int src, int dst) const;
+
+  /// Sets the adaptive initial retransmit timeout for the (src,dst) pair;
+  /// newly stamped entries start from it instead of the static
+  /// `retx_timeout_us` (per-entry exponential backoff and its cap are
+  /// unchanged). 0 restores the static timeout. No-op when reliability is
+  /// off.
+  void set_retx_rto(int src, int dst, std::uint64_t rto_us);
+
+  /// Effective initial retransmit timeout for the pair (µs).
+  [[nodiscard]] std::uint64_t retx_rto_us(int src, int dst) const;
+
   // --- Reliability sublayer (ack/retransmit/dedup) -------------------------
 
   [[nodiscard]] bool reliability_enabled() const {
@@ -449,6 +495,11 @@ class Transport {
     std::deque<Message> delayed;  // chaos pool
     std::mt19937_64 rng;
     bool notified = false;
+    // Poll counter decimating the adaptive-tuning tick hook (1 in 64 polls).
+    // Deliberately bumped with a load+store pair, not an RMW: the controller
+    // is time-gated anyway, so increments lost to concurrent pollers only
+    // shift when the clock gets consulted, never whether ticks happen.
+    std::atomic<std::uint64_t> tick_polls{0};
     // Workers parked (or about to park) in wait_nonempty. Written with
     // seq_cst RMWs, read behind a seq_cst fence — the Dekker handshake that
     // lets producers skip the mutex+CV signal when nobody is sleeping.
@@ -503,6 +554,17 @@ class Transport {
     // one batch per shipped envelope — per-envelope freelist locking instead
     // of per-message.
     std::vector<std::vector<std::byte>> spare;
+    // Per-destination dynamic flush threshold (0 = use the static cap) and
+    // the count of sends it diverted to the direct path. Written only by
+    // set_coalesce_threshold; read with relaxed loads on the send path so
+    // the disabled state costs one load.
+    std::vector<std::atomic<std::size_t>> dyn_bytes;
+    std::vector<std::atomic<std::uint64_t>> dyn_bypass;
+    // True while any envelope is open or spare storage is parked. Lets
+    // flush_coalesced return without the shard lock when there is nothing
+    // to do — idle-hook flushes hammer empty shards on latency-bound pairs
+    // whose sends the dynamic threshold diverted direct.
+    std::atomic<bool> dirty{false};
   };
 
   // --- reliability state ----------------------------------------------------
@@ -525,6 +587,7 @@ class Transport {
     std::map<std::uint64_t, RetxEntry> unacked;  // seq -> entry
     std::uint64_t next_seq = 0;                  // last assigned (first is 1)
     std::uint64_t cum_acked = 0;                 // highest cumulative ack seen
+    std::uint64_t rto_us = 0;  // adaptive initial timeout (0 = static)
   };
 
   /// All sender-side pairs originating at one place.

@@ -137,9 +137,11 @@ std::map<std::string, std::uint64_t> structural(
 
 /// Runs `job` once per seed — with the sender-side coalescing layer off and
 /// again with it on, then both again with lossy chaos (drop/dup + the
-/// reliability sublayer) — asserting per-run invariants and equality of the
-/// structural counters across *all* runs: neither chaos scheduling, wire
-/// batching, message loss, nor duplication may change the protocol books.
+/// reliability sublayer), and the tunable cells once more with the online
+/// autotune controller armed — asserting per-run invariants and equality of
+/// the structural counters across *all* runs: neither chaos scheduling, wire
+/// batching, message loss, duplication, nor adaptive thresholds/timers may
+/// change the protocol books.
 template <typename Job>
 void sweep(int places, Job job, int places_per_node = 8) {
   std::map<std::string, std::uint64_t> reference;
@@ -149,12 +151,18 @@ void sweep(int places, Job job, int places_per_node = 8) {
   std::uint64_t total_retransmits = 0;
   std::uint64_t total_dups_dropped = 0;
   std::uint64_t total_bypass = 0;
+  for (const bool autotune : {false, true}) {
   for (const bool lossy : {false, true}) {
   for (const bool coalesce : {false, true}) {
+    // With neither coalescing nor reliability armed the controller has no
+    // knob to move (park tuning alone is covered by the armed cells); skip
+    // the cell rather than re-run the plain matrix a second time.
+    if (autotune && !coalesce && !lossy) continue;
     for (int s = 0; s < kNumSeeds; ++s) {
       SCOPED_TRACE(std::string(lossy ? "lossy " : "lossless ") +
                    (coalesce ? "coalesce-on" : "coalesce-off") +
-                   " seed index " + std::to_string(s));
+                   (autotune ? " autotune" : "") + " seed index " +
+                   std::to_string(s));
       Config cfg = chaos_cfg(places, kSeeds[s], places_per_node);
       if (lossy) arm_lossy(cfg);
       if (coalesce) {
@@ -164,6 +172,7 @@ void sweep(int places, Job job, int places_per_node = 8) {
         cfg.coalesce_bytes = 512;
         cfg.coalesce_msgs = 8;
       }
+      if (autotune) cfg.autotune = 1;
       Runtime::run(cfg, job);
       const auto& m = last_run_metrics();
       // Conservation: every snapshot sent is either applied or provably
@@ -218,9 +227,10 @@ void sweep(int places, Job job, int places_per_node = 8) {
       } else {
         EXPECT_EQ(strut, reference)
             << "accounting drifted with the chaos seed / coalescing / lossy "
-               "mode";
+               "/ autotune mode";
       }
     }
+  }
   }
   }
   // A drop can only be survived by a retransmit; if chaos dropped anything
@@ -525,13 +535,21 @@ void run_diff(int places, Job job, std::uint64_t expect_ran,
               int places_per_node = 8) {
   for (int s = 0; s < kNumSeeds; ++s) {
     std::map<std::string, std::uint64_t> reference;
+    bool have_reference = false;
+    // The autotune leg re-runs both backends with the online controller
+    // adapting thresholds and retransmit timers under the same lossy chaos:
+    // the all-acked fixpoint and the structural books must be unmoved by
+    // adaptive timing on either backend.
+    for (const bool autotune : {false, true}) {
     for (const bool socket : {false, true}) {
       SCOPED_TRACE(std::string(socket ? "socket" : "inproc") +
-                   " seed index " + std::to_string(s));
+                   (autotune ? " autotune" : "") + " seed index " +
+                   std::to_string(s));
       Config cfg = chaos_cfg(places, kSeeds[s], places_per_node);
       arm_lossy(cfg);
       cfg.coalesce_bytes = 512;
       cfg.coalesce_msgs = 8;
+      if (autotune) cfg.autotune = 1;
       // The differential matrix reuses one metrics/trace path many times per
       // test; keep these runs silent so CI artifacts stay one-run-per-file.
       cfg.trace = false;
@@ -566,13 +584,15 @@ void run_diff(int places, Job job, std::uint64_t expect_ran,
         EXPECT_EQ(val("hist.task.ship_xproc_ns.count"), 0u);
       }
       const auto strut = diff_structural(m);
-      if (!socket) {
+      if (!have_reference) {
         reference = strut;
+        have_reference = true;
       } else {
         EXPECT_EQ(strut, reference)
             << "structural counters diverged between the in-process and "
-               "socket backends";
+               "socket backends (or with the autotune controller armed)";
       }
+    }
     }
   }
 }

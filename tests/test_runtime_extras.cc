@@ -358,8 +358,11 @@ class ConfigEnv : public ::testing::Test {
     }
   }
   static constexpr const char* kVars[] = {
-      "APGAS_PLACES", "APGAS_WORKERS_PER_PLACE", "APGAS_POLL_BATCH",
-      "APGAS_COALESCE_BYTES", "APGAS_COALESCE_MSGS"};
+      "APGAS_PLACES",          "APGAS_WORKERS_PER_PLACE",
+      "APGAS_POLL_BATCH",      "APGAS_COALESCE_BYTES",
+      "APGAS_COALESCE_MSGS",   "APGAS_AUTOTUNE",
+      "APGAS_AUTOTUNE_RESIDENCY_BUDGET_US", "APGAS_PARK_BACKOFF_MIN_US",
+      "APGAS_PARK_BACKOFF_MAX_US", "APGAS_CHAOS_DROP"};
 
  private:
   std::vector<std::pair<std::string, std::optional<std::string>>> saved_;
@@ -400,17 +403,54 @@ TEST_F(ConfigEnv, AppliesOnTopOfExistingConfig) {
   EXPECT_EQ(cfg.poll_batch, 5);
 }
 
-TEST_F(ConfigEnv, RejectsGarbageAndNegatives) {
-  const Config defaults;
+// A set-but-malformed variable is a misconfiguration, not a default: the
+// parser aborts naming the offending variable rather than silently running
+// the whole job with a knob the operator thinks they changed.
+using ConfigEnvDeath = ConfigEnv;
+
+TEST_F(ConfigEnvDeath, AbortsOnNonNumeric) {
   ::setenv("APGAS_POLL_BATCH", "not-a-number", 1);
+  EXPECT_DEATH({ (void)Config::from_env(); }, "APGAS_POLL_BATCH");
+}
+
+TEST_F(ConfigEnvDeath, AbortsOnNegative) {
   ::setenv("APGAS_COALESCE_BYTES", "-4", 1);
+  EXPECT_DEATH({ (void)Config::from_env(); }, "APGAS_COALESCE_BYTES");
+}
+
+TEST_F(ConfigEnvDeath, AbortsOnEmpty) {
   ::setenv("APGAS_PLACES", "", 1);
+  EXPECT_DEATH({ (void)Config::from_env(); }, "APGAS_PLACES");
+}
+
+TEST_F(ConfigEnvDeath, AbortsOnTrailingGarbage) {
   ::setenv("APGAS_COALESCE_MSGS", "12trailing", 1);
+  EXPECT_DEATH({ (void)Config::from_env(); }, "APGAS_COALESCE_MSGS");
+}
+
+TEST_F(ConfigEnvDeath, AbortsOnOverflow) {
+  // Far past INT64_MAX: strtoll sets ERANGE.
+  ::setenv("APGAS_AUTOTUNE_RESIDENCY_BUDGET_US",
+           "999999999999999999999999999999", 1);
+  EXPECT_DEATH({ (void)Config::from_env(); },
+               "APGAS_AUTOTUNE_RESIDENCY_BUDGET_US");
+}
+
+TEST_F(ConfigEnvDeath, AbortsOnProbabilityOutOfRange) {
+  ::setenv("APGAS_CHAOS_DROP", "1.5", 1);
+  EXPECT_DEATH({ (void)Config::from_env(); }, "APGAS_CHAOS_DROP");
+}
+
+TEST_F(ConfigEnv, ReadsAutotuneAndParkKnobs) {
+  ::setenv("APGAS_AUTOTUNE", "1", 1);
+  ::setenv("APGAS_AUTOTUNE_RESIDENCY_BUDGET_US", "75", 1);
+  ::setenv("APGAS_PARK_BACKOFF_MIN_US", "2", 1);
+  ::setenv("APGAS_PARK_BACKOFF_MAX_US", "400", 1);
   const Config cfg = Config::from_env();
-  EXPECT_EQ(cfg.poll_batch, defaults.poll_batch);
-  EXPECT_EQ(cfg.coalesce_bytes, defaults.coalesce_bytes);
-  EXPECT_EQ(cfg.places, defaults.places);
-  EXPECT_EQ(cfg.coalesce_msgs, defaults.coalesce_msgs);
+  EXPECT_EQ(cfg.autotune, 1);
+  EXPECT_EQ(cfg.autotune_residency_budget_us, 75u);
+  EXPECT_EQ(cfg.park_backoff_min_us, 2u);
+  EXPECT_EQ(cfg.park_backoff_max_us, 400u);
 }
 
 TEST_F(ConfigEnv, ZeroDisablesCoalescing) {
