@@ -1,0 +1,103 @@
+#include "runtime/clocksync.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+namespace apgas::clocksync {
+
+namespace {
+
+// Offsets are written once (before workers start) and read from hot paths;
+// a plain vector behind an acquire/release flag keeps the reads to one
+// relaxed-ish load + an index.
+std::vector<std::int64_t> g_offsets;                 // NOLINT
+std::atomic<bool> g_armed{false};                    // NOLINT
+
+}  // namespace
+
+Estimate estimate(const std::vector<Sample>& samples) {
+  Estimate best;
+  for (const Sample& s : samples) {
+    if (s.t1_ns < s.t0_ns) continue;  // torn read; unusable
+    const std::uint64_t rtt = s.t1_ns - s.t0_ns;
+    if (best.valid && rtt >= best.rtt_ns) continue;
+    // Midpoint without overflow: t0 + rtt/2 stays in range for steady_clock
+    // magnitudes, and the int64 cast is safe for the same reason.
+    const std::uint64_t mid = s.t0_ns + rtt / 2;
+    best.offset_ns =
+        static_cast<std::int64_t>(mid) - static_cast<std::int64_t>(s.remote_ns);
+    best.rtt_ns = rtt;
+    best.remote_ref_ns = s.remote_ns;
+    best.valid = true;
+  }
+  return best;
+}
+
+DriftModel drift_model(const Estimate& a, const Estimate& b) {
+  DriftModel m;
+  if (a.valid) {
+    m.offset_ns = a.offset_ns;
+    m.remote_ref_ns = a.remote_ref_ns;
+  } else if (b.valid) {
+    m.offset_ns = b.offset_ns;
+    m.remote_ref_ns = b.remote_ref_ns;
+    return m;
+  } else {
+    return m;  // identity: nothing measured
+  }
+  if (!b.valid || b.remote_ref_ns == a.remote_ref_ns) return m;
+  const double dt = static_cast<double>(b.remote_ref_ns) -
+                    static_cast<double>(a.remote_ref_ns);
+  const double doff = static_cast<double>(b.offset_ns - a.offset_ns);
+  const double drift = doff / dt;
+  // > 1000 ppm between two estimates is jitter, not oscillator drift;
+  // extrapolating it would warp the merged timeline worse than ignoring it.
+  if (std::abs(drift) <= 1e-3) m.drift = drift;
+  return m;
+}
+
+std::int64_t rebase_ns(const DriftModel& m, std::uint64_t remote_ns) {
+  const double dt = static_cast<double>(remote_ns) -
+                    static_cast<double>(m.remote_ref_ns);
+  const auto correction =
+      m.offset_ns + static_cast<std::int64_t>(m.drift * dt);
+  return static_cast<std::int64_t>(remote_ns) + correction;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_offsets(std::vector<std::int64_t> offsets) {
+  g_offsets = std::move(offsets);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void clear_offsets() {
+  g_armed.store(false, std::memory_order_release);
+  g_offsets.clear();
+}
+
+bool armed() { return g_armed.load(std::memory_order_acquire); }
+
+std::int64_t offset_ns(int place) {
+  if (!armed()) return 0;
+  if (place < 0 || static_cast<std::size_t>(place) >= g_offsets.size())
+    return 0;
+  return g_offsets[static_cast<std::size_t>(place)];
+}
+
+std::uint64_t aligned_ship_ns(std::uint64_t recv_ns, int dst,
+                              std::uint64_t send_ns, int src) {
+  const std::int64_t lat =
+      (static_cast<std::int64_t>(recv_ns) + offset_ns(dst)) -
+      (static_cast<std::int64_t>(send_ns) + offset_ns(src));
+  return lat < 1 ? 1u : static_cast<std::uint64_t>(lat);
+}
+
+}  // namespace apgas::clocksync

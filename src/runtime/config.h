@@ -174,6 +174,29 @@ struct Config {
   /// Consecutive no-progress samples before the watchdog diagnoses a stall.
   int watchdog_stall_intervals = 5;
 
+  // --- live telemetry + clock sync (docs/observability.md) -----------------
+
+  /// Sampling interval of the live telemetry stream in milliseconds; 0 (the
+  /// default) never constructs the sampler — the disabled path is bit-for-bit
+  /// inert. When armed, each place emits periodic delta frames of selected
+  /// MetricsRegistry keys; in socket mode they stream over the ctrl socket
+  /// into one supervisor-side JSONL (tail it with tools/apgas_top).
+  int telemetry_interval_ms = 0;
+
+  /// Where the telemetry JSONL goes. Empty (the default) resolves to
+  /// "apgas_telemetry.jsonl" when the stream is armed.
+  std::string telemetry_path;
+
+  /// Comma-separated metric-name prefixes selecting which keys the telemetry
+  /// frames carry. Empty selects the default set apgas_top renders
+  /// (docs/observability.md "Distributed telemetry").
+  std::string telemetry_keys;
+
+  /// Request/echo rounds per child of the launcher's Cristian clock-offset
+  /// handshake (minimum-RTT sample wins). Runs at attach and again before
+  /// quiescence for drift re-estimation; only meaningful in socket mode.
+  int clocksync_rounds = 8;
+
   /// Applies `APGAS_*` environment overrides for the perf knobs on top of
   /// whatever `cfg` already holds, so benches and CI sweep configurations
   /// without recompiling:
@@ -205,6 +228,10 @@ struct Config {
   ///   APGAS_HIST               histograms (nonzero arms them)
   ///   APGAS_WATCHDOG_MS        watchdog_interval_ms (nonzero starts it)
   ///   APGAS_WATCHDOG_INTERVALS watchdog_stall_intervals
+  ///   APGAS_TELEMETRY_MS       telemetry_interval_ms (nonzero arms the stream)
+  ///   APGAS_TELEMETRY_PATH     telemetry_path
+  ///   APGAS_TELEMETRY_KEYS     telemetry_keys (comma-separated prefixes)
+  ///   APGAS_CLOCKSYNC_ROUNDS   clocksync_rounds
   ///
   /// Unset variables leave the knob untouched. A variable that is set but
   /// malformed — empty, non-numeric, trailing garbage, negative, or out of
@@ -280,6 +307,14 @@ struct Config {
     cfg.histograms = hist != 0;
     read("APGAS_WATCHDOG_MS", cfg.watchdog_interval_ms);
     read("APGAS_WATCHDOG_INTERVALS", cfg.watchdog_stall_intervals);
+    read("APGAS_TELEMETRY_MS", cfg.telemetry_interval_ms);
+    if (const char* p = std::getenv("APGAS_TELEMETRY_PATH"); p != nullptr) {
+      cfg.telemetry_path = p;
+    }
+    if (const char* k = std::getenv("APGAS_TELEMETRY_KEYS"); k != nullptr) {
+      cfg.telemetry_keys = k;
+    }
+    read("APGAS_CLOCKSYNC_ROUNDS", cfg.clocksync_rounds);
   }
 
   /// Defaults + apply_env().

@@ -14,13 +14,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <algorithm>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "runtime/clocksync.h"
 #include "runtime/metrics.h"
 #include "runtime/runtime.h"
+#include "runtime/telemetry.h"
+#include "runtime/trace.h"
 
 #if defined(__SANITIZE_THREAD__)
 #define APGAS_TSAN 1
@@ -125,6 +131,49 @@ bool aggregate_by_max(std::string_view key) {
          key.ends_with(".p99") || key.ends_with(".max");
 }
 
+/// A ctrl-socket operation on place `p` failed: the child is dead. Reap it
+/// for its status and fail the job.
+[[noreturn]] void fail_dead_child(int p, std::vector<pid_t>& pids) {
+  int st = 0;
+  (void)::waitpid(pids[static_cast<std::size_t>(p)], &st, 0);
+  fail_and_reap(p, describe_status(st), pids);
+}
+
+/// One upstream child → supervisor message: [tag u8][len u32][payload].
+struct Frame {
+  char tag = 0;
+  std::string payload;
+};
+
+bool recv_frame(int fd, Frame& f) {
+  if (!recv_all(fd, &f.tag, 1)) return false;
+  std::uint32_t len = 0;
+  if (!recv_all(fd, &len, sizeof(len))) return false;
+  f.payload.assign(len, '\0');
+  return len == 0 || recv_all(fd, f.payload.data(), f.payload.size());
+}
+
+/// `rounds` Cristian probe rounds against one child; both probe phases run
+/// while the child can produce no upstream frames, so the 8-byte echo is
+/// unambiguous. Dies (via fail_dead_child) if the child is gone.
+clocksync::Estimate probe_child(int fd, int p, int rounds,
+                                std::vector<pid_t>& pids) {
+  std::vector<clocksync::Sample> samples;
+  samples.reserve(static_cast<std::size_t>(rounds));
+  for (int i = 0; i < rounds; ++i) {
+    clocksync::Sample s;
+    const char c = 'C';
+    s.t0_ns = clocksync::now_ns();
+    if (!send_all(fd, &c, 1)) fail_dead_child(p, pids);
+    if (!recv_all(fd, &s.remote_ns, sizeof(s.remote_ns))) {
+      fail_dead_child(p, pids);
+    }
+    s.t1_ns = clocksync::now_ns();
+    samples.push_back(s);
+  }
+  return clocksync::estimate(samples);
+}
+
 }  // namespace
 
 std::string per_place_path(const std::string& path, int place) {
@@ -139,9 +188,36 @@ std::string per_place_path(const std::string& path, int place) {
   return path.substr(0, dot) + tag + path.substr(dot);
 }
 
-void child_report_quiescent(int ctrl_fd) {
-  const char q = 'Q';
-  if (!send_all(ctrl_fd, &q, 1)) ::_exit(1);  // supervisor is gone
+void CtrlChannel::send_frame(char tag, std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  if (!send_all(fd_, &tag, 1)) ::_exit(1);  // supervisor is gone
+  if (!send_all(fd_, &len, sizeof(len))) ::_exit(1);
+  if (len > 0 && !send_all(fd_, payload.data(), payload.size())) ::_exit(1);
+}
+
+std::vector<std::int64_t> child_clock_handshake(int ctrl_fd, int places) {
+  for (;;) {
+    char c = 0;
+    if (!recv_all(ctrl_fd, &c, 1)) ::_exit(1);
+    if (c == 'C') {
+      const std::uint64_t echo = clocksync::now_ns();
+      if (!send_all(ctrl_fd, &echo, sizeof(echo))) ::_exit(1);
+    } else if (c == 'O') {
+      std::vector<std::int64_t> offsets(static_cast<std::size_t>(places), 0);
+      if (!recv_all(ctrl_fd, offsets.data(),
+                    offsets.size() * sizeof(std::int64_t))) {
+        ::_exit(1);
+      }
+      return offsets;
+    } else {
+      std::fprintf(stderr,
+                   "[apgas_launch] child: unexpected ctrl byte 0x%02x during "
+                   "clock handshake\n",
+                   static_cast<unsigned char>(c));
+      ::_exit(1);
+    }
+  }
 }
 
 bool child_poll_go(int ctrl_fd) {
@@ -154,17 +230,18 @@ bool child_poll_go(int ctrl_fd) {
     char c = 0;
     const ssize_t r = ::recv(ctrl_fd, &c, 1, 0);
     if (r == 1 && c == 'G') return true;
+    if (r == 1 && c == 'C') {
+      // Drift re-estimation probe (the supervisor runs a second round of
+      // clock sync between quiescence and go).
+      const std::uint64_t echo = clocksync::now_ns();
+      if (!send_all(ctrl_fd, &echo, sizeof(echo))) ::_exit(1);
+      return false;
+    }
     if (r <= 0) ::_exit(1);  // supervisor died mid-barrier
     return false;
   }
   if ((pfd.revents & (POLLHUP | POLLERR)) != 0) ::_exit(1);
   return false;
-}
-
-void child_send_metrics(int ctrl_fd, const std::string& blob) {
-  const auto len = static_cast<std::uint32_t>(blob.size());
-  if (!send_all(ctrl_fd, &len, sizeof(len))) ::_exit(1);
-  if (!send_all(ctrl_fd, blob.data(), blob.size())) ::_exit(1);
 }
 
 void run_places(const Config& cfg, std::function<void()> main) {
@@ -243,6 +320,41 @@ void run_places(const Config& cfg, std::function<void()> main) {
   }
   for (int p = 0; p < P; ++p) ::close(ctrl_child[static_cast<std::size_t>(p)]);
 
+  // Attach clock sync: probe each child in turn, then broadcast the offset
+  // table so every child can map any place's clock into the supervisor
+  // domain. Children answer from run_child before starting workers, so the
+  // probes see an otherwise idle process; min-RTT selection absorbs the
+  // rounds that land while a child is still paging itself in.
+  const int rounds = cfg.clocksync_rounds < 1 ? 1 : cfg.clocksync_rounds;
+  std::vector<clocksync::Estimate> attach(static_cast<std::size_t>(P));
+  std::vector<clocksync::Estimate> quiesce(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    attach[static_cast<std::size_t>(p)] =
+        probe_child(ctrl_parent[static_cast<std::size_t>(p)], p, rounds, pids);
+  }
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(P), 0);
+  for (int p = 0; p < P; ++p) {
+    offsets[static_cast<std::size_t>(p)] =
+        attach[static_cast<std::size_t>(p)].offset_ns;
+  }
+  for (int p = 0; p < P; ++p) {
+    const int fd = ctrl_parent[static_cast<std::size_t>(p)];
+    const char o = 'O';
+    if (!send_all(fd, &o, 1) ||
+        !send_all(fd, offsets.data(), offsets.size() * sizeof(std::int64_t))) {
+      fail_dead_child(p, pids);
+    }
+  }
+
+  // Live telemetry sink: one JSONL for the whole job, flushed per line so
+  // apgas_top can tail it while the job runs.
+  std::unique_ptr<telemetry::JsonlWriter> tlog;
+  if (cfg.telemetry_interval_ms > 0) {
+    tlog = std::make_unique<telemetry::JsonlWriter>(
+        cfg.telemetry_path.empty() ? std::string("apgas_telemetry.jsonl")
+                                   : cfg.telemetry_path);
+  }
+
   // Crash-fault injection (test hook): SIGKILL one place after a delay. 'G'
   // is withheld until the kill has fired, so the victim is guaranteed to
   // still exist when it lands.
@@ -304,19 +416,48 @@ void run_places(const Config& cfg, std::function<void()> main) {
     for (std::size_t k = 0; k < pfds.size(); ++k) {
       if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       const int p = owner[k];
-      char c = 0;
-      const ssize_t r = ::recv(pfds[k].fd, &c, 1, 0);
-      if (r == 1 && c == 'Q') {
-        quiescent[static_cast<std::size_t>(p)] = true;
-        ++n_quiescent;
-        continue;
+      Frame f;
+      if (!recv_frame(pfds[k].fd, f)) {
+        // EOF before 'Q': the place process is gone.
+        int st = 0;
+        (void)::waitpid(pids[static_cast<std::size_t>(p)], &st, 0);
+        pids[static_cast<std::size_t>(p)] = -pids[static_cast<std::size_t>(p)];
+        fail_and_reap(p, describe_status(st), pids);
       }
-      // EOF (or garbage) before 'Q': the place process is gone.
-      int st = 0;
-      (void)::waitpid(pids[static_cast<std::size_t>(p)], &st, 0);
-      pids[static_cast<std::size_t>(p)] = -pids[static_cast<std::size_t>(p)];
-      fail_and_reap(p, describe_status(st), pids);
+      switch (f.tag) {
+        case 'Q':
+          quiescent[static_cast<std::size_t>(p)] = true;
+          ++n_quiescent;
+          break;
+        case 'T':
+          if (tlog) tlog->append(f.payload);
+          break;
+        case 'W':
+          // One consolidated, place-labelled report on the supervisor's
+          // stderr instead of output scattered across child stderr streams;
+          // the same report also lands in the telemetry JSONL.
+          std::fprintf(stderr,
+                       "[apgas_launch] watchdog report from place %d:\n%s", p,
+                       f.payload.c_str());
+          std::fflush(stderr);
+          if (tlog) {
+            tlog->append(telemetry::wrap_watchdog(
+                p, clocksync::now_ns() / 1000000u, f.payload));
+          }
+          break;
+        default:
+          ::kill(pids[static_cast<std::size_t>(p)], SIGKILL);
+          fail_dead_child(p, pids);
+      }
     }
+  }
+
+  // Drift re-estimation: a second probe round per child while everyone sits
+  // in the quiescence barrier (child_poll_go answers 'C'). Two estimates per
+  // child give the linear drift model used to rebase its trace timestamps.
+  for (int p = 0; p < P; ++p) {
+    quiesce[static_cast<std::size_t>(p)] =
+        probe_child(ctrl_parent[static_cast<std::size_t>(p)], p, rounds, pids);
   }
 
   // Everyone is quiescent (and any kill has landed — in which case the
@@ -330,24 +471,20 @@ void run_places(const Config& cfg, std::function<void()> main) {
     }
   }
 
-  // Metrics aggregation: each child sends a length-prefixed flat blob of
-  // "key value" lines after finalizing. Counters sum; percentile/max
-  // exports take the max across places.
+  // Metrics + trace collection: each child sends its 'M' metrics blob (flat
+  // "key value" lines; counters sum, percentile/max exports take the max
+  // across places) followed by its 'R' trace blob (empty when not tracing).
   std::map<std::string, std::uint64_t> agg;
+  std::vector<trace::ProcEvents> procs;
   for (int p = 0; p < P; ++p) {
     const int fd = ctrl_parent[static_cast<std::size_t>(p)];
-    std::uint32_t len = 0;
-    if (!recv_all(fd, &len, sizeof(len))) {
-      int st = 0;
-      (void)::waitpid(pids[static_cast<std::size_t>(p)], &st, 0);
-      fail_and_reap(p, describe_status(st), pids);
+    Frame mf;
+    Frame rf;
+    if (!recv_frame(fd, mf) || mf.tag != 'M' || !recv_frame(fd, rf) ||
+        rf.tag != 'R') {
+      fail_dead_child(p, pids);
     }
-    std::string blob(len, '\0');
-    if (len > 0 && !recv_all(fd, blob.data(), blob.size())) {
-      int st = 0;
-      (void)::waitpid(pids[static_cast<std::size_t>(p)], &st, 0);
-      fail_and_reap(p, describe_status(st), pids);
-    }
+    const std::string& blob = mf.payload;
     std::size_t pos = 0;
     while (pos < blob.size()) {
       std::size_t eol = blob.find('\n', pos);
@@ -362,6 +499,30 @@ void run_places(const Config& cfg, std::function<void()> main) {
       if (!inserted) {
         it->second = aggregate_by_max(key) ? std::max(it->second, val)
                                            : it->second + val;
+      }
+    }
+    if (!cfg.trace_path.empty() && !rf.payload.empty()) {
+      // Rebase this child's events into the supervisor clock domain through
+      // its drift model before handing them to the merged exporter.
+      std::uint64_t epoch = 0;
+      std::vector<trace::Event> events;
+      if (!trace::decode_events(rf.payload, epoch, events)) {
+        std::fprintf(stderr,
+                     "[apgas_launch] place %d sent a malformed trace blob; "
+                     "dropping its events from the merged trace\n",
+                     p);
+      } else {
+        const clocksync::DriftModel model =
+            clocksync::drift_model(attach[static_cast<std::size_t>(p)],
+                                   quiesce[static_cast<std::size_t>(p)]);
+        for (trace::Event& e : events) {
+          const std::int64_t abs = clocksync::rebase_ns(model, epoch + e.t_ns);
+          e.t_ns = abs < 0 ? 0u : static_cast<std::uint64_t>(abs);
+        }
+        trace::ProcEvents pe;
+        pe.place = p;
+        pe.events = std::move(events);
+        procs.push_back(std::move(pe));
       }
     }
   }
@@ -401,6 +562,29 @@ void run_places(const Config& cfg, std::function<void()> main) {
       }
       if (json) std::fputs("}\n", f);
       std::fclose(f);
+    }
+  }
+
+  // Merged trace: ONE Perfetto JSON over every place process, per-place
+  // process rows, cross-process flow arrows restored. Children additionally
+  // wrote their own per-place files (".pN" inserted), but this is the file
+  // that shows the whole job on one timeline.
+  if (!cfg.trace_path.empty()) {
+    std::uint64_t clamped = 0;
+    const std::string json = trace::chrome_json_merged(procs, &clamped);
+    std::FILE* f = std::fopen(cfg.trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[apgas_launch] cannot write %s: %s\n",
+                   cfg.trace_path.c_str(), std::strerror(errno));
+    } else {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    }
+    if (clamped > 0) {
+      std::fprintf(stderr,
+                   "[apgas_launch] merged trace: %llu span(s) clamped onto "
+                   "their remote spawn (residual clock-offset error)\n",
+                   static_cast<unsigned long long>(clamped));
     }
   }
   detail::store_last_metrics(std::move(agg));

@@ -76,8 +76,16 @@ class MetricsRegistry {
   /// Single JSON object {"key": value, ...}, sorted by key.
   [[nodiscard]] std::string json() const;
 
-  /// Writes json() if `path` ends in ".json", text() otherwise. Returns
-  /// false on I/O failure (logged to stderr, never throws).
+  /// Prometheus exposition format (text/plain version 0.0.4): counters and
+  /// gauges as `apgas_<name> value` samples with # TYPE headers, histograms
+  /// as summaries (quantile-labelled samples + _sum/_count) plus an
+  /// `apgas_<name>_max` gauge. Dots and other non-identifier characters in
+  /// metric names become underscores.
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// Writes json() if `path` ends in ".json", prometheus_text() for ".prom",
+  /// text() otherwise. Returns false on I/O failure (logged to stderr, never
+  /// throws).
   bool write(const std::string& path) const;
 
  private:

@@ -8,10 +8,12 @@
 #include <vector>
 
 #include "runtime/api.h"
+#include "runtime/clocksync.h"
 #include "runtime/congruent.h"
 #include "runtime/launcher.h"
 #include "runtime/task_registry.h"
 #include "runtime/team.h"
+#include "runtime/telemetry.h"
 #include "runtime/trace.h"
 #include "runtime/watchdog.h"
 #include "x10rt/socket_backend.h"
@@ -61,7 +63,7 @@ int num_task_fns() { return static_cast<int>(task_registry().size()); }
 namespace {
 
 /// am_spawn frame: [home i32][seq u64][mode u8][credit u64][span u64]
-/// [parent_span u64][t_send_ns u64][fn_id i32][args...]
+/// [parent_span u64][src i32][t_send_ns u64][fn_id i32][args...]
 void rt_am_spawn(Runtime& rt, x10rt::ByteBuffer& buf) {
   FinishKey key;
   key.home = buf.get<std::int32_t>();
@@ -76,13 +78,14 @@ void rt_am_spawn(Runtime& rt, x10rt::ByteBuffer& buf) {
   const auto credit = buf.get<std::uint64_t>();
   const auto span = buf.get<std::uint64_t>();
   const auto parent_span = buf.get<std::uint64_t>();
+  const auto src = buf.get<std::int32_t>();
   const auto t_send_ns = buf.get<std::uint64_t>();
   const auto fn_id = buf.get<std::int32_t>();
   TaskFn fn = task_fn(fn_id);  // aborts on an out-of-range wire id
   std::vector<std::byte> args(buf.remaining());
   if (!args.empty()) buf.get_raw(args.data(), args.size());
   if (t_send_ns != 0 && hist::enabled()) {
-    rt.record_ship_latency(t_send_ns);
+    rt.record_ship_latency(t_send_ns, src);
   }
   Activity act;
   act.fin = fin_task_received(rt, key, mode);
@@ -220,6 +223,7 @@ Runtime::Runtime(const Config& cfg, const launcher::SocketWiring* wiring)
   if (wiring != nullptr) local_place_ = wiring->place;
   hist_ship_frame_ = &metrics_->histogram("task.ship_ns");
   hist_ship_xproc_ = &metrics_->histogram("task.ship_xproc_ns");
+  hist_ship_xproc_aligned_ = &metrics_->histogram("task.ship_xproc_aligned_ns");
   register_transport_gauges();
 
   pstates_.reserve(static_cast<std::size_t>(cfg_.places));
@@ -474,6 +478,24 @@ void Runtime::run(const Config& cfg, std::function<void()> main) {
   };
   rt.sched(0).push(std::move(boot));
 
+  // Live telemetry (in-process flavour): one sampler over the shared
+  // registry, place -1 ("whole job"), appended straight to the JSONL file —
+  // there is no supervisor to stream through.
+  std::unique_ptr<telemetry::JsonlWriter> tlog;
+  std::unique_ptr<Telemetry> tele;
+  if (cfg.telemetry_interval_ms > 0) {
+    const std::string path = cfg.telemetry_path.empty()
+                                 ? std::string("apgas_telemetry.jsonl")
+                                 : cfg.telemetry_path;
+    tlog = std::make_unique<telemetry::JsonlWriter>(path);
+    telemetry::JsonlWriter* w = tlog.get();
+    tele = std::make_unique<Telemetry>(
+        rt.metrics(), /*place=*/-1, cfg.telemetry_interval_ms,
+        cfg.telemetry_keys,
+        [w](const std::string& line) { w->append(line); });
+    tele->start();
+  }
+
   // The stall watchdog samples progress counters from outside the worker
   // pool; it must stop before finalize_observability tears the trace down.
   std::unique_ptr<Watchdog> watchdog;
@@ -481,6 +503,17 @@ void Runtime::run(const Config& cfg, std::function<void()> main) {
     watchdog = std::make_unique<Watchdog>(
         rt, std::chrono::milliseconds(cfg.watchdog_interval_ms),
         cfg.watchdog_stall_intervals > 0 ? cfg.watchdog_stall_intervals : 1);
+    if (tlog) {
+      // Mirror diagnoses into the telemetry stream (apgas_top flags them)
+      // while keeping the stderr report.
+      telemetry::JsonlWriter* w = tlog.get();
+      watchdog->set_report_sink([w](const std::string& r) {
+        std::fwrite(r.data(), 1, r.size(), stderr);
+        std::fflush(stderr);
+        w->append(
+            telemetry::wrap_watchdog(-1, clocksync::now_ns() / 1000000, r));
+      });
+    }
     watchdog->start();
   }
 
@@ -494,6 +527,7 @@ void Runtime::run(const Config& cfg, std::function<void()> main) {
   }
   for (auto& t : workers) t.join();
   if (watchdog) watchdog->stop();
+  if (tele) tele->stop();
   rt.finalize_observability();
   team_detail::registry_clear();
   current_ = nullptr;
@@ -536,15 +570,27 @@ int Runtime::run_child(const Config& cfg, std::function<void()> main,
   // as the all-acked fixpoint, which needs acks to exist. (Chaos drop/dup
   // would force this anyway; a clean wire just inherits the same contract.)
   if (c.retx_timeout_us == 0) c.retx_timeout_us = 1000;
-  // Per-place observability files so the place processes don't clobber one
-  // another; the parent writes the aggregate under the original name.
+  // Per-place metrics files so the place processes don't clobber one
+  // another; the parent writes the aggregate under the original name. Traces
+  // are different: the child keeps the flight recorder armed but writes no
+  // file of its own — it ships the raw event blob over the control socket
+  // and the supervisor writes the single clock-rebased merged trace.
   c.metrics_path = launcher::per_place_path(cfg.metrics_path, wiring.place);
-  c.trace_path = launcher::per_place_path(cfg.trace_path, wiring.place);
+  if (!cfg.trace_path.empty()) c.trace = true;
+  c.trace_path.clear();
 
   Runtime rt(c, &wiring);
   current_ = &rt;
   const int p = wiring.place;
   detail::tl_place = p;
+
+  // Attach clock handshake: answer the supervisor's Cristian probes and arm
+  // the offset table before any worker starts, so the very first aligned
+  // ship-latency sample already has offsets to use. (Inbound task frames can
+  // queue during the handshake, but they only execute on workers.)
+  clocksync::set_offsets(launcher::child_clock_handshake(wiring.ctrl_fd,
+                                                         c.places));
+  launcher::CtrlChannel ctrl(wiring.ctrl_fd);
 
   if (p == 0) {
     Activity boot;
@@ -570,7 +616,20 @@ int Runtime::run_child(const Config& cfg, std::function<void()> main,
     watchdog = std::make_unique<Watchdog>(
         rt, std::chrono::milliseconds(c.watchdog_interval_ms),
         c.watchdog_stall_intervals > 0 ? c.watchdog_stall_intervals : 1);
+    // Under the socket backend a stderr diagnosis from one place interleaves
+    // with three others'; ship it to the supervisor instead, which prints it
+    // place-labelled and mirrors it into the telemetry JSONL.
+    watchdog->set_report_sink(
+        [&ctrl](const std::string& r) { ctrl.send_frame('W', r); });
     watchdog->start();
+  }
+
+  std::unique_ptr<Telemetry> tele;
+  if (c.telemetry_interval_ms > 0) {
+    tele = std::make_unique<Telemetry>(
+        rt.metrics(), p, c.telemetry_interval_ms, c.telemetry_keys,
+        [&ctrl](const std::string& line) { ctrl.send_frame('T', line); });
+    tele->start();
   }
 
   std::vector<std::thread> workers;
@@ -580,16 +639,28 @@ int Runtime::run_child(const Config& cfg, std::function<void()> main,
   }
   for (auto& t : workers) t.join();
   if (watchdog) watchdog->stop();
+  // Stop the sampler (it emits one final frame) before 'Q': after 'Q' the
+  // only upstream traffic may be the drift-probe echoes and then 'M'/'R'.
+  if (tele) tele->stop();
 
   // Quiescence barrier: drain to the local all-acked fixpoint, report 'Q',
   // then keep serving retransmits/acks for slower peers until the
-  // supervisor releases everyone with 'G'.
+  // supervisor releases everyone with 'G' (answering drift-phase clock
+  // probes along the way).
   rt.drain_local_fixpoint();
-  launcher::child_report_quiescent(wiring.ctrl_fd);
+  ctrl.send_frame('Q', {});
   while (!launcher::child_poll_go(wiring.ctrl_fd)) {
     rt.drain_local_pass();
   }
 
+  // Capture the flight recorder *before* finalize_observability shuts it
+  // down; the supervisor rebases these events into its own clock domain and
+  // merges all places into one Perfetto file.
+  std::string trace_blob;
+  if (trace::enabled()) {
+    trace_blob = trace::encode_events(trace::epoch_abs_ns(),
+                                      trace::drain_all());
+  }
   rt.finalize_observability();
   std::string blob;
   for (const auto& [k, v] : last_run_metrics()) {
@@ -598,17 +669,24 @@ int Runtime::run_child(const Config& cfg, std::function<void()> main,
     blob += std::to_string(v);
     blob += '\n';
   }
-  launcher::child_send_metrics(wiring.ctrl_fd, blob);
+  ctrl.send_frame('M', blob);
+  ctrl.send_frame('R', trace_blob);
+  clocksync::clear_offsets();
   team_detail::registry_clear();
   current_ = nullptr;
   detail::tl_place = -1;
   return 0;
 }
 
-void Runtime::record_ship_latency(std::uint64_t t_send_ns) {
-  const std::uint64_t lat = ship_latency_ns(hist::now_ns(), t_send_ns);
+void Runtime::record_ship_latency(std::uint64_t t_send_ns, int src) {
+  const std::uint64_t now = hist::now_ns();
+  const std::uint64_t lat = ship_latency_ns(now, t_send_ns);
   if (multi_process()) {
     hist_ship_xproc_->record(lat);
+    if (src >= 0 && clocksync::armed()) {
+      hist_ship_xproc_aligned_->record(
+          clocksync::aligned_ship_ns(now, local_place_, t_send_ns, src));
+    }
   } else {
     hist_ship_frame_->record(lat);
   }
@@ -628,8 +706,11 @@ void Runtime::send_task_frame(int dst, int fn_id, x10rt::ByteBuffer args,
   frame.put<std::uint64_t>(credit);
   frame.put<std::uint64_t>(span);
   frame.put<std::uint64_t>(parent_span);
-  // Ship-time stamp travels inside the frame (not on the Message) so it
-  // survives coalescing into an envelope train.
+  // Ship-time stamp + sending place travel inside the frame (not on the
+  // Message) so they survive coalescing into an envelope train; the source
+  // place lets the receiver pick the right clock offset for the aligned
+  // ship-latency sample.
+  frame.put<std::int32_t>(here());
   frame.put<std::uint64_t>(hist::enabled() ? hist::now_ns() : 0);
   frame.put<std::int32_t>(fn_id);
   if (args.size() != 0) frame.put_raw(args.bytes().data(), args.size());

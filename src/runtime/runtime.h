@@ -171,9 +171,12 @@ class Runtime {
   void send_ctrl(int dst, std::function<void()> fn, std::size_t bytes);
 
   /// Records a frame task's ship->execute latency: in-process samples join
-  /// task.ship_ns, cross-process ones are clamped into task.ship_xproc_ns
-  /// (the sender's clock is another process's domain).
-  void record_ship_latency(std::uint64_t t_send_ns);
+  /// task.ship_ns; cross-process ones are clamped into task.ship_xproc_ns
+  /// (the sender's clock is another process's domain) and — when the
+  /// launcher's clock handshake has armed the offset table — additionally
+  /// recorded clock-corrected into task.ship_xproc_aligned_ns. `src` is the
+  /// sending place (-1 when unknown; skips the aligned sample).
+  void record_ship_latency(std::uint64_t t_send_ns, int src);
 
   /// Runs a closure at the home registry entry for `key`, if still present.
   /// Used by control handlers; late messages for released finishes drop.
@@ -231,6 +234,7 @@ class Runtime {
   // closure path's live in Scheduler).
   Histogram* hist_ship_frame_ = nullptr;
   Histogram* hist_ship_xproc_ = nullptr;
+  Histogram* hist_ship_xproc_aligned_ = nullptr;
   std::vector<std::unique_ptr<PlaceState>> pstates_;
   std::unique_ptr<CongruentSpace> congruent_;
   // Per-protocol finish open->close latency histograms, resolved once.

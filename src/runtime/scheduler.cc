@@ -4,6 +4,7 @@
 #include <string>
 #include <thread>
 
+#include "runtime/clocksync.h"
 #include "runtime/config.h"
 #include "runtime/finish.h"
 #include "runtime/runtime.h"
@@ -57,6 +58,8 @@ Scheduler::Scheduler(Runtime& rt, int place)
                                              ".overflow")),
       hist_ship_(rt.metrics().histogram("task.ship_ns")),
       hist_ship_xproc_(rt.metrics().histogram("task.ship_xproc_ns")),
+      hist_ship_xproc_aligned_(
+          rt.metrics().histogram("task.ship_xproc_aligned_ns")),
       hist_exec_(rt.metrics().histogram("activity.exec_ns")) {
   for (int t = 0; t < x10rt::kNumMsgTypes; ++t) {
     msgs_by_type_[static_cast<std::size_t>(t)] = &rt.metrics().counter(
@@ -211,9 +214,19 @@ void Scheduler::consume_message(x10rt::Message& m) {
   // clock read races ours within granularity and the raw subtraction would
   // wrap (ship_latency_ns in scheduler.h).
   if (m.t_send_ns != 0) {
-    const std::uint64_t lat = ship_latency_ns(hist::now_ns(), m.t_send_ns);
-    ((m.rflags & x10rt::kMsgXProc) != 0 ? hist_ship_xproc_ : hist_ship_)
-        .record(lat);
+    const std::uint64_t now = hist::now_ns();
+    const std::uint64_t lat = ship_latency_ns(now, m.t_send_ns);
+    if ((m.rflags & x10rt::kMsgXProc) != 0) {
+      hist_ship_xproc_.record(lat);
+      // With the launcher's clock offsets armed, also record the sample
+      // clock-corrected: both stamps mapped into the supervisor domain.
+      if (m.src >= 0 && clocksync::armed()) {
+        hist_ship_xproc_aligned_.record(
+            clocksync::aligned_ship_ns(now, place_, m.t_send_ns, m.src));
+      }
+    } else {
+      hist_ship_.record(lat);
+    }
   }
   m.run();
   messages_processed_.fetch_add(1, std::memory_order_relaxed);

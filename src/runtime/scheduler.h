@@ -188,6 +188,7 @@ class Scheduler {
   // their own histogram — see consume_message) and activity body duration.
   Histogram& hist_ship_;
   Histogram& hist_ship_xproc_;
+  Histogram& hist_ship_xproc_aligned_;
   Histogram& hist_exec_;
 };
 

@@ -152,6 +152,33 @@ std::uint64_t total_events();
 /// (merged by timestamp). Used by the stall watchdog's diagnosis dump.
 std::vector<Event> recent(std::size_t k);
 
+/// Every retained event across all rings, merged oldest first. Used by place
+/// processes to ship their ring contents to the launcher supervisor before
+/// shutdown() tears the recorder down.
+std::vector<Event> drain_all();
+
+/// The recorder's epoch (the instant t_ns counts from) as absolute
+/// steady_clock nanoseconds — the same clock hist::now_ns()/clocksync echo.
+/// A child's event happened at absolute time epoch_abs_ns() + e.t_ns. 0 when
+/// inactive.
+std::uint64_t epoch_abs_ns();
+
+/// Compact binary codec for shipping a ring drain across the ctrl socket:
+/// [magic u32]["APGT" version u32][epoch_abs u64][count u64] then one fixed-
+/// width record per event. decode_events returns false (leaving the outputs
+/// untouched) on a malformed blob.
+std::string encode_events(std::uint64_t epoch_abs_ns,
+                          const std::vector<Event>& events);
+bool decode_events(const std::string& blob, std::uint64_t& epoch_abs_ns_out,
+                   std::vector<Event>& events_out);
+
+/// One place process's events, rebased into a common clock domain, for the
+/// merged exporter.
+struct ProcEvents {
+  int place = 0;
+  std::vector<Event> events;
+};
+
 /// Serializes every retained event as Chrome trace_event JSON (the format
 /// chrome://tracing, Perfetto, and speedscope load). pid 0, tid = place;
 /// activity begin/end become "B"/"E" duration events; remote spawns add
@@ -160,6 +187,18 @@ std::vector<Event> recent(std::size_t k);
 /// "b"/"e" async slices on a per-finish track (id = home<<40 | seq); the
 /// rest are instants.
 std::string chrome_json();
+
+/// Multi-process variant used by the launcher supervisor: one Perfetto JSON
+/// over every place process's (already clock-rebased) events, with pid =
+/// owning place so each process renders as its own named row, plus the same
+/// flow arrows as chrome_json() — remote spawns are matched to begins across
+/// process boundaries. Residual offset-estimation error can leave a begin a
+/// few ns before its spawn; such spans are shifted forward onto the spawn
+/// (happened-before clamping) so the merged timeline never shows an effect
+/// preceding its cause. `clamped_spans`, when non-null, receives the number
+/// of spans so corrected.
+std::string chrome_json_merged(const std::vector<ProcEvents>& procs,
+                               std::uint64_t* clamped_spans = nullptr);
 
 /// Writes chrome_json() to `path`. Returns false (and keeps quiet beyond a
 /// stderr note) on I/O failure — teardown must not throw.

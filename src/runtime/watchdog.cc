@@ -156,8 +156,12 @@ void Watchdog::diagnose(int stalled_intervals) const {
     }
   }
 
-  std::fwrite(out.data(), 1, out.size(), stderr);
-  std::fflush(stderr);
+  if (report_sink_) {
+    report_sink_(out);
+  } else {
+    std::fwrite(out.data(), 1, out.size(), stderr);
+    std::fflush(stderr);
+  }
 }
 
 void Watchdog::loop() {

@@ -19,8 +19,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "runtime/metrics.h"
 
@@ -50,6 +52,14 @@ class Watchdog {
     return diagnoses_->load(std::memory_order_relaxed);
   }
 
+  /// Redirects diagnosis reports into `sink` instead of stderr. Socket-mode
+  /// children forward reports to the launcher supervisor this way, so a
+  /// multi-process stall produces one consolidated, place-labelled report
+  /// rather than interleaved child stderr. Set before start().
+  void set_report_sink(std::function<void(const std::string&)> sink) {
+    report_sink_ = std::move(sink);
+  }
+
  private:
   /// The monotone progress vector; any component advancing counts as
   /// progress.
@@ -71,6 +81,7 @@ class Watchdog {
   std::chrono::milliseconds interval_;
   int stall_intervals_;
   MetricsRegistry::Counter* diagnoses_;
+  std::function<void(const std::string&)> report_sink_;
 
   std::mutex mu_;
   std::condition_variable cv_;

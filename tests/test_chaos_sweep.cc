@@ -578,10 +578,21 @@ void run_diff(int places, Job job, std::uint64_t expect_ran,
         EXPECT_EQ(val("hist.task.ship_xproc_ns.count"),
                   m.at("runtime.tasks_shipped"));
         EXPECT_LT(val("hist.task.ship_xproc_ns.max"), std::uint64_t{1} << 62);
+        // Clock-aligned twin (launcher clock handshake): offsets are armed
+        // before any worker starts, so every cross-process sample also
+        // records corrected — and the correction must keep the max far from
+        // the 2^63 wraparound regime a mis-signed offset would produce.
+        EXPECT_EQ(val("hist.task.ship_xproc_aligned_ns.count"),
+                  m.at("runtime.tasks_shipped"));
+        EXPECT_LT(val("hist.task.ship_xproc_aligned_ns.max"),
+                  std::uint64_t{1} << 62);
       } else {
         EXPECT_EQ(val("hist.task.ship_ns.count"),
                   m.at("runtime.tasks_shipped"));
         EXPECT_EQ(val("hist.task.ship_xproc_ns.count"), 0u);
+        // No clock handshake ever runs in-process; the aligned histogram
+        // must stay untouched (telemetry-off inertness).
+        EXPECT_EQ(val("hist.task.ship_xproc_aligned_ns.count"), 0u);
       }
       const auto strut = diff_structural(m);
       if (!have_reference) {

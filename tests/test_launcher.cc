@@ -2,19 +2,28 @@
 // runs a real multi-process job — fork, socket mesh, quiescence barrier,
 // metrics aggregation, exit-status aggregation — and the crash-fault path
 // SIGKILLs one place mid-run and must report the failed place with a nonzero
-// exit instead of hanging on the barrier.
+// exit instead of hanging on the barrier. The telemetry-plane tests drive
+// the same binaries with tracing/telemetry armed and validate the merged
+// Perfetto trace (clock-rebased, time-ordered cross-process flow arrows),
+// the streamed telemetry JSONL, and the apgas_top renderer.
 //
 // The binaries under test are injected by CMake as compile definitions
-// (APGAS_LAUNCH_BIN / APGAS_UTS_BIN), so the test works from any build dir.
+// (APGAS_LAUNCH_BIN / APGAS_UTS_BIN / APGAS_TOP_BIN), so the test works from
+// any build dir.
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -49,6 +58,56 @@ RunResult run(const std::string& cmd) {
 
 const std::string kLaunch = APGAS_LAUNCH_BIN;
 const std::string kUts = APGAS_UTS_BIN;
+const std::string kTop = APGAS_TOP_BIN;
+
+// No dots before the leaf name: bench_common's per_run_path inserts ".r0"
+// at the first dot after the last slash, and the traced test predicts that
+// mangled name.
+std::string tmp_path(const std::string& leaf) {
+  return ::testing::TempDir() + "apgas_launcher_test_" +
+         std::to_string(::getpid()) + "_" + leaf;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// One cross-process flow arrow half, scraped out of the merged trace JSON.
+/// Flow events carry no nested args object, so the enclosing {...} can be
+/// scanned with plain string ops.
+struct FlowEvent {
+  char ph = '?';
+  double ts = -1.0;
+  std::string id;
+};
+
+std::vector<FlowEvent> scrape_flows(const std::string& json) {
+  std::vector<FlowEvent> out;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"cat\":\"flow\"", pos)) != std::string::npos) {
+    const std::size_t open = json.rfind('{', pos);
+    const std::size_t close = json.find('}', pos);
+    EXPECT_NE(open, std::string::npos);
+    EXPECT_NE(close, std::string::npos);
+    const std::string obj = json.substr(open, close - open + 1);
+    FlowEvent f;
+    std::size_t at = obj.find("\"ph\":\"");
+    if (at != std::string::npos) f.ph = obj[at + 6];
+    at = obj.find("\"ts\":");
+    if (at != std::string::npos) f.ts = std::strtod(obj.c_str() + at + 5, nullptr);
+    at = obj.find("\"id\":\"");
+    if (at != std::string::npos) {
+      const std::size_t end = obj.find('"', at + 6);
+      f.id = obj.substr(at + 6, end - at - 6);
+    }
+    out.push_back(std::move(f));
+    pos = close;
+  }
+  return out;
+}
 
 TEST(Launcher, RunsUtsAcrossFourPlaceProcesses) {
   // The partitioned traversal must count exactly the sequential node total —
@@ -75,6 +134,114 @@ TEST(Launcher, ReportsUsageOnMissingPlaces) {
   const RunResult r = run(kLaunch + " " + kUts);
   EXPECT_EQ(r.exit_code, 2) << r.output;
   EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(Launcher, TracedRunMergesTimeOrderedFlowsAcrossPlaces) {
+  // APGAS_TRACE in socket mode must yield ONE merged Perfetto JSON written
+  // by the supervisor (bench_common inserts ".r0" for the run index), with
+  // a process row per place and every cross-process spawn->begin flow arrow
+  // pointing forward in time after the clock rebase.
+  const std::string trace = tmp_path("uts.trace.json");
+  const RunResult r =
+      run("APGAS_TRACE=" + trace + " " + kLaunch + " -n 4 " + kUts);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  const std::string merged = tmp_path("uts.r0.trace.json");
+  const std::string json = slurp(merged);
+  ASSERT_FALSE(json.empty()) << "supervisor did not write " << merged;
+  ASSERT_NE(json.find("\"traceEvents\""), std::string::npos);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_NE(json.find("\"args\":{\"name\":\"place " + std::to_string(p) +
+                        "\"}"),
+              std::string::npos)
+        << "missing process row for place " << p;
+  }
+
+  // Pair the flow halves by id: every finish ("f", on the destination's
+  // activity.begin) needs a start ("s", on the source's spawn) and must not
+  // precede it — the acceptance invariant for the clock rebase + clamping.
+  const std::vector<FlowEvent> flows = scrape_flows(json);
+  std::map<std::string, double> starts;
+  std::size_t pairs = 0;
+  for (const FlowEvent& f : flows) {
+    if (f.ph != 's') continue;
+    auto [it, fresh] = starts.try_emplace(f.id, f.ts);
+    if (!fresh && f.ts < it->second) it->second = f.ts;
+  }
+  for (const FlowEvent& f : flows) {
+    if (f.ph != 'f') continue;
+    const auto it = starts.find(f.id);
+    ASSERT_NE(it, starts.end()) << "flow finish without a start: " << f.id;
+    EXPECT_LE(it->second, f.ts)
+        << "flow " << f.id << " points backwards in time";
+    ++pairs;
+  }
+  // 4 places x 8 frontier subtrees means plenty of remote spawns; require a
+  // healthy number of complete arrows, not just one lucky pair.
+  EXPECT_GE(pairs, 8u) << "merged trace lost its cross-process flow arrows";
+  std::remove(merged.c_str());
+}
+
+TEST(Launcher, TelemetryStreamsFramesFromEveryPlace) {
+  const std::string tele = tmp_path("tele.jsonl");
+  const RunResult r = run("APGAS_TELEMETRY_MS=20 APGAS_TELEMETRY_PATH=" +
+                          tele + " " + kLaunch + " -n 4 " + kUts);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  const std::string log = slurp(tele);
+  ASSERT_FALSE(log.empty()) << "no telemetry JSONL at " << tele;
+  // Every place must have streamed at least one frame (the sampler emits a
+  // final frame on stop, so even a fast run produces one per place), and
+  // every line must be a self-contained JSON object.
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_NE(log.find("\"place\":" + std::to_string(p) + ","),
+              std::string::npos)
+        << "no telemetry frame from place " << p << "\n" << log;
+  }
+  std::stringstream ss(log);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"t_ms\":"), std::string::npos) << line;
+  }
+
+  // The dashboard must be able to read the real stream.
+  const RunResult top = run(kTop + " --once " + tele);
+  EXPECT_EQ(top.exit_code, 0) << top.output;
+  EXPECT_NE(top.output.find("apgas_top"), std::string::npos) << top.output;
+  std::remove(tele.c_str());
+}
+
+TEST(Launcher, ApgasTopOnceRendersPlaceRows) {
+  // Synthetic stream: deterministic totals, one watchdog report. --once
+  // prints cumulative totals and flags the stalled place.
+  const std::string tele = tmp_path("top.jsonl");
+  {
+    std::ofstream out(tele);
+    out << R"({"place":0,"seq":0,"t_ms":100,"d":{"sched.p0.activities_executed":50,"sched.p0.steals":3},"a":{"hist.activity.exec_ns.p99":5000}})"
+        << "\n"
+        << R"({"place":0,"seq":1,"t_ms":200,"d":{"sched.p0.activities_executed":25},"a":{"hist.activity.exec_ns.p99":6000}})"
+        << "\n"
+        << R"({"place":1,"seq":0,"t_ms":150,"d":{"sched.p1.activities_executed":70},"a":{}})"
+        << "\n"
+        << R"({"place":1,"t_ms":180,"watchdog":"no progress for 3 intervals"})"
+        << "\n";
+  }
+  const RunResult r = run(kTop + " --once " + tele);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("2 place(s)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("75"), std::string::npos)  // 50 + 25 accumulated
+      << r.output;
+  EXPECT_NE(r.output.find("70"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("!!"), std::string::npos)  // watchdog flag
+      << r.output;
+  std::remove(tele.c_str());
+
+  // Missing file is a clean nonzero exit, not a hang or crash.
+  const RunResult miss = run(kTop + " --once " + tele + ".nope");
+  EXPECT_EQ(miss.exit_code, 1);
 }
 
 TEST(Launcher, CrashedPlaceFailsFastWithAReport) {
