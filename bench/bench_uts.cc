@@ -66,12 +66,30 @@ int run_socket_uts() {
     const int v = std::atoi(d);
     if (v > 0) p.depth = v;
   }
+  p.glb.chunk = 128;
+  // APGAS_UTS_GLB=1 runs the *real* lifeline GLB across place processes —
+  // bags ride the wire through their Ser hooks (ISSUE 10) — instead of the
+  // static frontier partitioning below.
+  const char* glb_env = std::getenv("APGAS_UTS_GLB");
+  const bool use_glb = glb_env != nullptr && glb_env[0] != '\0' &&
+                       glb_env[0] != '0';
   const std::uint64_t expected = kernels::uts_sequential(p).nodes;
 
   const auto t0 = std::chrono::steady_clock::now();
-  Runtime::run(cfg, [p] {
+  Runtime::run(cfg, [p, use_glb] {
     using namespace apgas;
     const int P = num_places();
+    if (use_glb) {
+      glb::Glb<kernels::UtsBag> balancer(p.glb);
+      balancer.run(kernels::UtsBag(p, true));
+      std::uint64_t nodes = 0;
+      for (int q = 0; q < P; ++q) nodes += balancer.bag_at(q).nodes();
+      // One counter bump at place 0 with the gathered total: the parent's
+      // metrics aggregation then verifies it like the frontier path's.
+      Runtime::get().metrics().counter("uts.nodes").fetch_add(
+          nodes, std::memory_order_relaxed);
+      return;
+    }
     std::deque<UtsFrontierNode> frontier;
     frontier.push_back({kernels::UtsNodeState::root(p.seed), 0});
     std::uint64_t expanded = 0;
@@ -108,7 +126,11 @@ int run_socket_uts() {
   const auto it = m.find("uts.nodes");
   const std::uint64_t nodes = it == m.end() ? 0 : it->second;
   const bool verified = nodes == expected;
-  bench::header("UTS (geometric) — socket backend, one process per place");
+  bench::header(use_glb
+                    ? "UTS (geometric) — socket backend, lifeline GLB across "
+                      "place processes"
+                    : "UTS (geometric) — socket backend, one process per "
+                      "place");
   bench::row("%8s %6s %14s %14s %10s", "places", "depth", "nodes", "Mnodes/s",
              "verified");
   bench::row("%8d %6d %14llu %14.3f %10s", cfg.places, p.depth,

@@ -83,6 +83,20 @@ class NQueensBag {
   [[nodiscard]] std::size_t size() const { return frontier_.size(); }
   [[nodiscard]] long solutions() const { return solutions_; }
 
+  // Ser hooks (x10rt::Ser) so the bag can ride GLB frames.
+  void ser_put(x10rt::ByteBuffer& b) const {
+    b.put(n_);
+    b.put_vector(frontier_);
+    b.put(solutions_);
+  }
+  static NQueensBag ser_get(x10rt::ByteBuffer& b) {
+    NQueensBag bag;
+    bag.n_ = b.get<int>();
+    bag.frontier_ = b.get_vector<Board>();
+    bag.solutions_ = b.get<long>();
+    return bag;
+  }
+
  private:
   int n_ = 0;
   std::vector<Board> frontier_;

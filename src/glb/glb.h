@@ -5,23 +5,34 @@
 // trips over X10RT-level messages, the cheap accounting the paper derives
 // from FINISH_HERE), then registers on its *lifelines* — a low-diameter,
 // low-degree graph — and dies. A victim that later has work splits it among
-// recorded lifeline requesters; the loot travels as an async under the single
+// recorded lifeline requesters; the loot travels as a spawn under the single
 // root finish, whose termination detection therefore covers exactly the
 // initial distribution plus lifeline resuscitations, staying oblivious to
 // the (much more frequent) random-steal traffic.
+//
+// Every GLB message is a *frame* (registered task id + Ser-serialized bag,
+// ISSUE 10), so the whole protocol runs unchanged over the socket backend:
+// work distribution and resuscitations ride asyncAtFrame, steal round trips
+// and lifeline registrations ride immediateAtFrame. Per-place protocol state
+// lives in a process-global Session keyed by a monotonically increasing run
+// id that travels inside every frame — a straggler from a previous run
+// (e.g. a fire-and-forget lifeline registration parked by chaos) is detected
+// as stale and dropped instead of corrupting the next run's books.
 //
 // The paper's refinements over [35] are all here and switchable, so the
 // bench can reproduce the §6.2 "legacy collapses at scale" comparison:
 //   * bounded victim lists (<=1024; legacy: every place is a victim),
 //   * steal round trips outside the root finish (legacy: each steal is a
-//     pair of asyncs governed by the root finish, flooding it),
+//     pair of spawns governed by the root finish, flooding it),
 //   * FINISH_DENSE for the root finish (legacy: the default protocol).
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <mutex>
 #include <random>
+#include <utility>
 #include <vector>
 
 #include "glb/lifeline_graph.h"
@@ -40,6 +51,8 @@ struct GlbConfig {
   std::uint64_t seed = 0x5eedULL;
   bool legacy = false;         ///< [35] baseline (see header comment)
 };
+static_assert(std::is_trivially_copyable_v<GlbConfig>,
+              "GlbConfig travels raw inside every GLB frame");
 
 struct GlbPlaceStats {
   std::uint64_t processed = 0;
@@ -48,6 +61,394 @@ struct GlbPlaceStats {
   std::uint64_t lifeline_requests = 0;
   std::uint64_t resuscitations = 0;
 };
+
+namespace detail {
+
+template <TaskBag Bag>
+struct WorkerState {
+  Bag bag{};
+  bool active = false;
+  std::vector<int> lifelines;           // whom we beg
+  std::vector<char> lifeline_requested; // outstanding request per lifeline
+  std::vector<char> incoming;           // recorded requests, by thief place
+  std::vector<int> incoming_queue;
+  std::vector<int> victims;
+  std::mt19937_64 rng;
+  // Random-steal round-trip rendezvous.
+  bool response_pending = false;
+  bool response_had_loot = false;
+  GlbPlaceStats stats;
+  // glb.* registry counters, resolved once at state creation (the registry's
+  // "resolve once, increment lock-free forever" contract): the hot steal
+  // paths must not take the registry mutex per event.
+  apgas::MetricsRegistry::Counter* c_processed = nullptr;
+  apgas::MetricsRegistry::Counter* c_steal_attempts = nullptr;
+  apgas::MetricsRegistry::Counter* c_steal_hits = nullptr;
+  apgas::MetricsRegistry::Counter* c_lifeline_requests = nullptr;
+  apgas::MetricsRegistry::Counter* c_resuscitations = nullptr;
+  // Steal-to-work latency histogram (attempt launch -> loot merged).
+  apgas::Histogram* h_steal_to_work = nullptr;
+};
+
+/// Process-global per-Bag protocol state. One instance per process: all
+/// in-process places share it (indexed by place), a socket-backend place
+/// process only ever touches its own slot. The run id is the epoch guard:
+/// place 0 bumps it at the start of every Glb::run, every frame carries it,
+/// and handlers drop frames from older epochs (only fire-and-forget lifeline
+/// registrations can actually straggle across runs — everything else is
+/// either finish-governed or a blocking rendezvous).
+template <TaskBag Bag>
+class Session {
+ public:
+  /// Place 0, start of a run: advance the epoch and reset all state.
+  static std::uint64_t begin_run(const GlbConfig& cfg) {
+    Session& s = instance();
+    std::scoped_lock lock(s.mu_);
+    ++s.run_id_;
+    s.cfg_ = cfg;
+    s.states_.clear();
+    s.states_.resize(static_cast<std::size_t>(apgas::num_places()));
+    return s.run_id_;
+  }
+
+  /// Frame handler entry: adopt a newer epoch (first frame of a run arriving
+  /// at a peer process), drop a stale one (returns nullptr), and hand back
+  /// this place's state (created on first touch).
+  static WorkerState<Bag>* ensure(const GlbConfig& cfg, std::uint64_t rid) {
+    Session& s = instance();
+    std::scoped_lock lock(s.mu_);
+    if (rid < s.run_id_) return nullptr;  // straggler from a finished run
+    if (rid > s.run_id_) {
+      s.run_id_ = rid;
+      s.cfg_ = cfg;
+      s.states_.clear();
+      s.states_.resize(static_cast<std::size_t>(apgas::num_places()));
+    }
+    return s.state_for(apgas::here());
+  }
+
+  /// Exact-epoch lookup without creation (steal responses, result gather):
+  /// nullptr when the epoch moved on or the place was never touched.
+  static WorkerState<Bag>* find(std::uint64_t rid) {
+    Session& s = instance();
+    std::scoped_lock lock(s.mu_);
+    if (rid != s.run_id_) return nullptr;
+    return s.states_[static_cast<std::size_t>(apgas::here())].get();
+  }
+
+ private:
+  static Session& instance() {
+    static Session s;
+    return s;
+  }
+
+  WorkerState<Bag>* state_for(int p) {
+    auto& slot = states_[static_cast<std::size_t>(p)];
+    if (!slot) {
+      const int places = apgas::num_places();
+      auto& metrics = apgas::Runtime::get().metrics();
+      auto ws = std::make_unique<WorkerState<Bag>>();
+      ws->c_processed = &metrics.counter("glb.processed");
+      ws->c_steal_attempts = &metrics.counter("glb.steal_attempts");
+      ws->c_steal_hits = &metrics.counter("glb.steal_hits");
+      ws->c_lifeline_requests = &metrics.counter("glb.lifeline_requests");
+      ws->c_resuscitations = &metrics.counter("glb.resuscitations");
+      ws->h_steal_to_work = &metrics.histogram("glb.steal_to_work_ns");
+      ws->lifelines = lifelines_of(p, places, cfg_.lifelines);
+      ws->lifeline_requested.assign(ws->lifelines.size(), 0);
+      ws->incoming.assign(static_cast<std::size_t>(places), 0);
+      ws->rng.seed(cfg_.seed ^ (0x9e3779b97f4a7c15ULL * (p + 1)));
+      ws->victims = pick_victims(p, places, ws->rng);
+      slot = std::move(ws);
+    }
+    return slot.get();
+  }
+
+  static std::vector<int> pick_victims(int self, int places,
+                                       std::mt19937_64& rng) {
+    std::vector<int> all;
+    all.reserve(static_cast<std::size_t>(places) - 1);
+    for (int p = 0; p < places; ++p) {
+      if (p != self) all.push_back(p);
+    }
+    std::shuffle(all.begin(), all.end(), rng);
+    return all;  // callers bound by max_victims (legacy uses all)
+  }
+
+  std::mutex mu_;
+  std::uint64_t run_id_ = 0;
+  GlbConfig cfg_{};
+  std::vector<std::unique_ptr<WorkerState<Bag>>> states_;
+};
+
+// Forward declarations for the handler <-> protocol mutual recursion.
+template <TaskBag Bag>
+void give_range(const GlbConfig& cfg, std::uint64_t rid, int lo, int hi,
+                Bag bag);
+template <TaskBag Bag>
+void worker(const GlbConfig& cfg, std::uint64_t rid);
+
+/// Every GLB frame starts [GlbConfig][run_id u64] so any process can
+/// bootstrap (or epoch-check) its Session from the first frame it sees.
+inline x10rt::ByteBuffer glb_frame(const GlbConfig& cfg, std::uint64_t rid) {
+  x10rt::ByteBuffer b;
+  b.put(cfg);
+  b.put(rid);
+  return b;
+}
+
+/// The registered frame tasks of the protocol, one set per Bag type. Ids are
+/// static data members of a class template: initialized pre-main wherever
+/// the Bag instantiation exists, and the launcher forks after static init,
+/// so every place process agrees on them.
+template <TaskBag Bag>
+struct Fns {
+  /// [cfg][rid][lo i32][hi i32][Ser<Bag>] — tree-distribution hop, governed
+  /// by the root finish.
+  static void give(x10rt::ByteBuffer& b) {
+    const auto cfg = b.get<GlbConfig>();
+    const auto rid = b.get<std::uint64_t>();
+    const auto lo = b.get<std::int32_t>();
+    const auto hi = b.get<std::int32_t>();
+    Bag bag = x10rt::Ser<Bag>::get(b);
+    if (Session<Bag>::ensure(cfg, rid) == nullptr) return;
+    give_range<Bag>(cfg, rid, lo, hi, std::move(bag));
+  }
+
+  /// [cfg][rid][Ser<Bag>] — lifeline loot (the resuscitation), governed by
+  /// the root finish.
+  static void loot(x10rt::ByteBuffer& b) {
+    const auto cfg = b.get<GlbConfig>();
+    const auto rid = b.get<std::uint64_t>();
+    Bag stolen = x10rt::Ser<Bag>::get(b);
+    WorkerState<Bag>* ws = Session<Bag>::ensure(cfg, rid);
+    if (ws == nullptr) return;
+    ws->bag.merge(std::move(stolen));
+    // Loot re-arms future lifeline registrations.
+    std::fill(ws->lifeline_requested.begin(), ws->lifeline_requested.end(), 0);
+    if (!ws->active) worker<Bag>(cfg, rid);
+  }
+
+  /// [cfg][rid][thief i32] — random-steal request. The paper flavour rides
+  /// an immediate (invisible to the root finish); legacy rides asyncAtFrame
+  /// so every attempt floods the finish, as [35] did.
+  static void steal_req_impl(x10rt::ByteBuffer& b, bool legacy) {
+    const auto cfg = b.get<GlbConfig>();
+    const auto rid = b.get<std::uint64_t>();
+    const auto thief = b.get<std::int32_t>();
+    x10rt::ByteBuffer rsp;
+    rsp.put(rid);
+    WorkerState<Bag>* ws = Session<Bag>::ensure(cfg, rid);
+    bool had = false;
+    Bag stolen{};
+    if (ws != nullptr) {
+      stolen = ws->bag.split();
+      had = !stolen.empty();
+    }
+    // A stale request still gets its (empty) response: the thief is blocked
+    // in a rendezvous and must always be released.
+    rsp.put<std::uint8_t>(had ? 1 : 0);
+    if (had) x10rt::Ser<Bag>::put(rsp, stolen);
+    if (legacy) {
+      apgas::asyncAtFrame(thief, kStealRspLegacy, std::move(rsp));
+    } else {
+      apgas::immediateAtFrame(thief, kStealRsp, std::move(rsp),
+                              x10rt::MsgType::kSteal);
+    }
+  }
+  static void steal_req(x10rt::ByteBuffer& b) { steal_req_impl(b, false); }
+  static void steal_req_legacy(x10rt::ByteBuffer& b) {
+    steal_req_impl(b, true);
+  }
+
+  /// [rid][had u8][Ser<Bag> if had] — random-steal response, releasing the
+  /// thief's rendezvous.
+  static void steal_rsp(x10rt::ByteBuffer& b) {
+    const auto rid = b.get<std::uint64_t>();
+    const auto had = b.get<std::uint8_t>() != 0;
+    WorkerState<Bag>* ws = Session<Bag>::find(rid);
+    if (ws == nullptr) return;  // epoch moved on; nobody is waiting
+    if (had) ws->bag.merge(x10rt::Ser<Bag>::get(b));
+    ws->response_had_loot = had;
+    ws->response_pending = false;
+  }
+
+  /// [cfg][rid][thief i32] — fire-and-forget lifeline registration (the only
+  /// frame that can genuinely straggle across runs; the epoch guard drops
+  /// stale ones).
+  static void lifeline(x10rt::ByteBuffer& b) {
+    const auto cfg = b.get<GlbConfig>();
+    const auto rid = b.get<std::uint64_t>();
+    const auto thief = b.get<std::int32_t>();
+    WorkerState<Bag>* ws = Session<Bag>::ensure(cfg, rid);
+    if (ws == nullptr) return;
+    if (!ws->incoming[static_cast<std::size_t>(thief)]) {
+      ws->incoming[static_cast<std::size_t>(thief)] = 1;
+      ws->incoming_queue.push_back(thief);
+    }
+  }
+
+  /// Post-run result gather (typed blocking get): moves the place's final
+  /// bag out alongside its stats. Runs identically on both backends so the
+  /// finish books stay structurally equal.
+  static std::pair<GlbPlaceStats, Bag> collect(std::uint64_t rid) {
+    WorkerState<Bag>* ws = Session<Bag>::find(rid);
+    if (ws == nullptr) return {};
+    return {ws->stats, std::move(ws->bag)};
+  }
+
+  inline static const int kGive = apgas::register_task_fn(&Fns::give);
+  inline static const int kLoot = apgas::register_task_fn(&Fns::loot);
+  inline static const int kStealReq =
+      apgas::register_task_fn(&Fns::steal_req);
+  inline static const int kStealReqLegacy =
+      apgas::register_task_fn(&Fns::steal_req_legacy);
+  inline static const int kStealRsp =
+      apgas::register_task_fn(&Fns::steal_rsp);
+  inline static const int kStealRspLegacy =
+      apgas::register_task_fn(&Fns::steal_rsp);
+  inline static const int kLifeline =
+      apgas::register_task_fn(&Fns::lifeline);
+  inline static const apgas::RemoteGet<std::pair<GlbPlaceStats, Bag>,
+                                       std::uint64_t>
+      kCollect{&Fns::collect};
+};
+
+/// Serve recorded lifeline requests from our bag: every requester gets a
+/// split, shipped as a frame spawn under the root finish (the resuscitation).
+template <TaskBag Bag>
+void distribute(const GlbConfig& cfg, std::uint64_t rid,
+                WorkerState<Bag>& ws) {
+  while (!ws.incoming_queue.empty() && !ws.bag.empty()) {
+    Bag stolen = ws.bag.split();
+    if (stolen.empty()) return;
+    const int thief = ws.incoming_queue.back();
+    ws.incoming_queue.pop_back();
+    ws.incoming[static_cast<std::size_t>(thief)] = 0;
+    ++ws.stats.resuscitations;
+    ws.c_resuscitations->fetch_add(1, std::memory_order_relaxed);
+    x10rt::ByteBuffer f = glb_frame(cfg, rid);
+    x10rt::Ser<Bag>::put(f, stolen);
+    apgas::asyncAtFrame(thief, Fns<Bag>::kLoot, std::move(f));
+  }
+}
+
+/// One synchronous random steal attempt; returns true if loot arrived.
+template <TaskBag Bag>
+bool random_steal(const GlbConfig& cfg, std::uint64_t rid,
+                  WorkerState<Bag>& ws) {
+  const int self = apgas::here();
+  const int bound = cfg.legacy
+                        ? static_cast<int>(ws.victims.size())
+                        : std::min<int>(cfg.max_victims,
+                                        static_cast<int>(ws.victims.size()));
+  if (bound == 0) return false;
+  std::uniform_int_distribution<int> pick(0, bound - 1);
+  const int victim = ws.victims[static_cast<std::size_t>(pick(ws.rng))];
+  ++ws.stats.steal_attempts;
+  ws.c_steal_attempts->fetch_add(1, std::memory_order_relaxed);
+  apgas::trace::emit(apgas::trace::Ev::kStealAttempt,
+                     static_cast<std::uint64_t>(victim));
+  const bool timed = apgas::hist::enabled();
+  const std::uint64_t t0 = timed ? apgas::hist::now_ns() : 0;
+  ws.response_pending = true;
+  ws.response_had_loot = false;
+
+  x10rt::ByteBuffer f = glb_frame(cfg, rid);
+  f.put<std::int32_t>(self);
+  if (cfg.legacy) {
+    // [35]-style: the steal round trip is a pair of frame spawns under the
+    // root finish — every attempt generates termination-detection traffic.
+    apgas::asyncAtFrame(victim, Fns<Bag>::kStealReqLegacy, std::move(f));
+  } else {
+    // Paper-style: X10RT-level round trip, invisible to the root finish
+    // (the thief activity stays live while waiting, so this is safe).
+    apgas::immediateAtFrame(victim, Fns<Bag>::kStealReq, std::move(f),
+                            x10rt::MsgType::kSteal);
+  }
+  apgas::Runtime::get().sched(self).run_until(
+      [&ws] { return !ws.response_pending; });
+  if (ws.response_had_loot) {
+    ++ws.stats.steal_hits;
+    ws.c_steal_hits->fetch_add(1, std::memory_order_relaxed);
+    if (timed) ws.h_steal_to_work->record(apgas::hist::now_ns() - t0);
+    apgas::trace::emit(apgas::trace::Ev::kStealSuccess,
+                       static_cast<std::uint64_t>(victim));
+  }
+  return ws.response_had_loot;
+}
+
+/// Register on every lifeline not already holding our request.
+template <TaskBag Bag>
+void register_lifelines(const GlbConfig& cfg, std::uint64_t rid,
+                        WorkerState<Bag>& ws) {
+  const int self = apgas::here();
+  for (std::size_t i = 0; i < ws.lifelines.size(); ++i) {
+    if (ws.lifeline_requested[i]) continue;
+    ws.lifeline_requested[i] = 1;
+    ++ws.stats.lifeline_requests;
+    ws.c_lifeline_requests->fetch_add(1, std::memory_order_relaxed);
+    x10rt::ByteBuffer f = glb_frame(cfg, rid);
+    f.put<std::int32_t>(self);
+    apgas::immediateAtFrame(ws.lifelines[i], Fns<Bag>::kLifeline,
+                            std::move(f), x10rt::MsgType::kSteal);
+  }
+}
+
+/// The per-place worker: process, serve, steal, register, die (§6.1).
+template <TaskBag Bag>
+void worker(const GlbConfig& cfg, std::uint64_t rid) {
+  WorkerState<Bag>* wsp = Session<Bag>::ensure(cfg, rid);
+  if (wsp == nullptr) return;
+  WorkerState<Bag>& ws = *wsp;
+  assert(!ws.active);
+  ws.active = true;
+  auto& sched = apgas::Runtime::get().sched(apgas::here());
+  for (;;) {
+    std::size_t done;
+    while ((done = ws.bag.process(cfg.chunk)) > 0) {
+      ws.stats.processed += done;
+      ws.c_processed->fetch_add(done, std::memory_order_relaxed);
+      distribute<Bag>(cfg, rid, ws);  // serve lifelines promptly
+      while (sched.step()) {
+      }  // service steal requests between chunks
+    }
+    // Bag empty: random steals, re-checking the bag after each attempt
+    // (loot may arrive via a lifeline while we wait).
+    bool got = false;
+    for (int a = 0; a < cfg.random_attempts && !got; ++a) {
+      got = random_steal<Bag>(cfg, rid, ws);
+      if (!ws.bag.empty()) got = true;
+    }
+    if (got || !ws.bag.empty()) continue;
+    register_lifelines<Bag>(cfg, rid, ws);
+    if (!ws.bag.empty()) continue;  // raced with a resuscitation
+    break;  // die; a lifeline loot frame will resuscitate us
+  }
+  ws.active = false;
+}
+
+/// Initial one-wave tree distribution from the root worker (§6.1).
+template <TaskBag Bag>
+void give_range(const GlbConfig& cfg, std::uint64_t rid, int lo, int hi,
+                Bag bag) {
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    Bag half = bag.split();
+    x10rt::ByteBuffer f = glb_frame(cfg, rid);
+    f.put<std::int32_t>(mid);
+    f.put<std::int32_t>(hi);
+    x10rt::Ser<Bag>::put(f, half);
+    apgas::asyncAtFrame(mid, Fns<Bag>::kGive, std::move(f));
+    hi = mid;
+  }
+  WorkerState<Bag>* ws = Session<Bag>::ensure(cfg, rid);
+  assert(ws != nullptr && "a governed give cannot be stale");
+  ws->bag.merge(std::move(bag));
+  worker<Bag>(cfg, rid);
+}
+
+}  // namespace detail
 
 template <TaskBag Bag>
 class Glb {
@@ -62,245 +463,40 @@ class Glb {
     assert(rt.config().workers_per_place == 1 &&
            "GLB assumes one worker per place (as the paper's runs do)");
     const int places = rt.places();
-    auto& metrics = rt.metrics();
-    auto* c_attempts = &metrics.counter("glb.steal_attempts");
-    auto* c_hits = &metrics.counter("glb.steal_hits");
-    auto* c_requests = &metrics.counter("glb.lifeline_requests");
-    auto* c_resus = &metrics.counter("glb.resuscitations");
-    auto* h_steal = &metrics.histogram("glb.steal_to_work_ns");
-    states_ = std::make_shared<std::vector<std::unique_ptr<WorkerState>>>();
-    states_->reserve(static_cast<std::size_t>(places));
-    for (int p = 0; p < places; ++p) {
-      auto ws = std::make_unique<WorkerState>();
-      ws->c_steal_attempts = c_attempts;
-      ws->c_steal_hits = c_hits;
-      ws->c_lifeline_requests = c_requests;
-      ws->c_resuscitations = c_resus;
-      ws->h_steal_to_work = h_steal;
-      ws->lifelines = lifelines_of(p, places, cfg_.lifelines);
-      ws->lifeline_requested.assign(ws->lifelines.size(), 0);
-      ws->incoming.assign(static_cast<std::size_t>(places), 0);
-      ws->rng.seed(cfg_.seed ^ (0x9e3779b97f4a7c15ULL * (p + 1)));
-      ws->victims = pick_victims(p, places, ws->rng);
-      states_->push_back(std::move(ws));
-    }
-    auto states = states_;
+    const std::uint64_t rid = detail::Session<Bag>::begin_run(cfg_);
     const GlbConfig cfg = cfg_;
     apgas::finish(cfg.legacy ? apgas::Pragma::kDefault : apgas::Pragma::kDense,
                   [&] {
-                    give_range(states, cfg, 0, places, std::move(initial));
+                    detail::give_range<Bag>(cfg, rid, 0, places,
+                                            std::move(initial));
                   });
+    // Gather every place's final bag + stats with the typed blocking get.
+    // Runs on both backends (q == 0 included) so the finish books stay
+    // structurally identical in-process vs over sockets.
+    bags_.clear();
+    stats_.clear();
+    bags_.reserve(static_cast<std::size_t>(places));
+    stats_.reserve(static_cast<std::size_t>(places));
+    for (int q = 0; q < places; ++q) {
+      auto [st, bag] = apgas::atArgs(q, detail::Fns<Bag>::kCollect, rid);
+      stats_.push_back(st);
+      bags_.push_back(std::move(bag));
+    }
   }
 
   /// Post-run access to each place's final bag (for result extraction) and
-  /// stats. Only valid after run() returned — the job is then quiescent.
+  /// stats, gathered to place 0 when run() returned.
   [[nodiscard]] const Bag& bag_at(int place) const {
-    return (*states_)[static_cast<std::size_t>(place)]->bag;
+    return bags_[static_cast<std::size_t>(place)];
   }
   [[nodiscard]] const GlbPlaceStats& stats_at(int place) const {
-    return (*states_)[static_cast<std::size_t>(place)]->stats;
+    return stats_[static_cast<std::size_t>(place)];
   }
 
  private:
-  struct WorkerState {
-    Bag bag{};
-    bool active = false;
-    std::vector<int> lifelines;           // whom we beg
-    std::vector<char> lifeline_requested; // outstanding request per lifeline
-    std::vector<char> incoming;           // recorded requests, by thief place
-    std::vector<int> incoming_queue;
-    std::vector<int> victims;
-    std::mt19937_64 rng;
-    // Random-steal round-trip rendezvous.
-    bool response_pending = false;
-    bool response_had_loot = false;
-    GlbPlaceStats stats;
-    // glb.* registry counters, resolved once at Glb::run (the registry's
-    // "resolve once, increment lock-free forever" contract): the hot steal
-    // paths must not take the registry mutex per event.
-    apgas::MetricsRegistry::Counter* c_steal_attempts = nullptr;
-    apgas::MetricsRegistry::Counter* c_steal_hits = nullptr;
-    apgas::MetricsRegistry::Counter* c_lifeline_requests = nullptr;
-    apgas::MetricsRegistry::Counter* c_resuscitations = nullptr;
-    // Steal-to-work latency histogram (attempt launch -> loot merged).
-    apgas::Histogram* h_steal_to_work = nullptr;
-  };
-  using States = std::shared_ptr<std::vector<std::unique_ptr<WorkerState>>>;
-
-  static std::vector<int> pick_victims(int self, int places,
-                                       std::mt19937_64& rng) {
-    std::vector<int> all;
-    all.reserve(static_cast<std::size_t>(places) - 1);
-    for (int p = 0; p < places; ++p) {
-      if (p != self) all.push_back(p);
-    }
-    std::shuffle(all.begin(), all.end(), rng);
-    return all;  // callers bound by max_victims (legacy uses all)
-  }
-
-  /// Initial one-wave tree distribution from the root worker (§6.1).
-  static void give_range(States states, const GlbConfig& cfg, int lo, int hi,
-                         Bag bag) {
-    while (hi - lo > 1) {
-      const int mid = lo + (hi - lo + 1) / 2;
-      Bag half = bag.split();
-      auto half_ptr = std::make_shared<Bag>(std::move(half));
-      apgas::asyncAt(mid, [states, cfg, mid, hi, half_ptr] {
-        give_range(states, cfg, mid, hi, std::move(*half_ptr));
-      });
-      hi = mid;
-    }
-    auto& ws = *(*states)[static_cast<std::size_t>(apgas::here())];
-    ws.bag.merge(std::move(bag));
-    worker(states, cfg);
-  }
-
-  /// Serve recorded lifeline requests from our bag: every requester gets a
-  /// split, shipped as an async under the root finish (the resuscitation).
-  static void distribute(States states, const GlbConfig& cfg) {
-    auto& ws = *(*states)[static_cast<std::size_t>(apgas::here())];
-    while (!ws.incoming_queue.empty() && !ws.bag.empty()) {
-      Bag loot = ws.bag.split();
-      if (loot.empty()) return;
-      const int thief = ws.incoming_queue.back();
-      ws.incoming_queue.pop_back();
-      ws.incoming[static_cast<std::size_t>(thief)] = 0;
-      ++ws.stats.resuscitations;
-      ws.c_resuscitations->fetch_add(1, std::memory_order_relaxed);
-      auto loot_ptr = std::make_shared<Bag>(std::move(loot));
-      apgas::asyncAt(thief, [states, cfg, loot_ptr] {
-        auto& ts = *(*states)[static_cast<std::size_t>(apgas::here())];
-        ts.bag.merge(std::move(*loot_ptr));
-        // Loot re-arms future lifeline registrations.
-        std::fill(ts.lifeline_requested.begin(), ts.lifeline_requested.end(),
-                  0);
-        if (!ts.active) worker(states, cfg);  // the resuscitation async
-      });
-    }
-  }
-
-  /// One synchronous random steal attempt; returns true if loot arrived.
-  static bool random_steal(States states, const GlbConfig& cfg,
-                           WorkerState& ws) {
-    const int self = apgas::here();
-    const int bound = cfg.legacy
-                          ? static_cast<int>(ws.victims.size())
-                          : std::min<int>(cfg.max_victims,
-                                          static_cast<int>(ws.victims.size()));
-    if (bound == 0) return false;
-    std::uniform_int_distribution<int> pick(0, bound - 1);
-    const int victim = ws.victims[static_cast<std::size_t>(pick(ws.rng))];
-    ++ws.stats.steal_attempts;
-    ws.c_steal_attempts->fetch_add(1, std::memory_order_relaxed);
-    apgas::trace::emit(apgas::trace::Ev::kStealAttempt,
-                       static_cast<std::uint64_t>(victim));
-    const bool timed = apgas::hist::enabled();
-    const std::uint64_t t0 = timed ? apgas::hist::now_ns() : 0;
-    ws.response_pending = true;
-    ws.response_had_loot = false;
-
-    if (cfg.legacy) {
-      // [35]-style: the steal round trip is a pair of asyncs under the root
-      // finish — every attempt generates termination-detection traffic.
-      apgas::asyncAt(victim, [states, self] {
-        auto& vs = *(*states)[static_cast<std::size_t>(apgas::here())];
-        Bag loot = vs.bag.split();
-        const bool had = !loot.empty();
-        auto loot_ptr = std::make_shared<Bag>(std::move(loot));
-        apgas::asyncAt(self, [states, loot_ptr, had] {
-          auto& ts = *(*states)[static_cast<std::size_t>(apgas::here())];
-          if (had) ts.bag.merge(std::move(*loot_ptr));
-          ts.response_had_loot = had;
-          ts.response_pending = false;
-        });
-      });
-    } else {
-      // Paper-style: X10RT-level round trip, invisible to the root finish
-      // (the thief activity stays live while waiting, so this is safe).
-      apgas::immediate_at(
-          victim,
-          [states, self] {
-            auto& vs = *(*states)[static_cast<std::size_t>(apgas::here())];
-            Bag loot = vs.bag.split();
-            const bool had = !loot.empty();
-            auto loot_ptr = std::make_shared<Bag>(std::move(loot));
-            apgas::immediate_at(
-                self,
-                [states, loot_ptr, had] {
-                  auto& ts =
-                      *(*states)[static_cast<std::size_t>(apgas::here())];
-                  if (had) ts.bag.merge(std::move(*loot_ptr));
-                  ts.response_had_loot = had;
-                  ts.response_pending = false;
-                },
-                x10rt::MsgType::kSteal);
-          },
-          x10rt::MsgType::kSteal);
-    }
-    apgas::Runtime::get().sched(self).run_until(
-        [&ws] { return !ws.response_pending; });
-    if (ws.response_had_loot) {
-      ++ws.stats.steal_hits;
-      ws.c_steal_hits->fetch_add(1, std::memory_order_relaxed);
-      if (timed) ws.h_steal_to_work->record(apgas::hist::now_ns() - t0);
-      apgas::trace::emit(apgas::trace::Ev::kStealSuccess,
-                         static_cast<std::uint64_t>(victim));
-    }
-    return ws.response_had_loot;
-  }
-
-  /// Register on every lifeline not already holding our request.
-  static void register_lifelines(States states, WorkerState& ws) {
-    const int self = apgas::here();
-    for (std::size_t i = 0; i < ws.lifelines.size(); ++i) {
-      if (ws.lifeline_requested[i]) continue;
-      ws.lifeline_requested[i] = 1;
-      ++ws.stats.lifeline_requests;
-      ws.c_lifeline_requests->fetch_add(1, std::memory_order_relaxed);
-      apgas::immediate_at(
-          ws.lifelines[i],
-          [states, self] {
-            auto& vs = *(*states)[static_cast<std::size_t>(apgas::here())];
-            if (!vs.incoming[static_cast<std::size_t>(self)]) {
-              vs.incoming[static_cast<std::size_t>(self)] = 1;
-              vs.incoming_queue.push_back(self);
-            }
-          },
-          x10rt::MsgType::kSteal);
-    }
-  }
-
-  /// The per-place worker: process, serve, steal, register, die (§6.1).
-  static void worker(States states, const GlbConfig& cfg) {
-    auto& ws = *(*states)[static_cast<std::size_t>(apgas::here())];
-    assert(!ws.active);
-    ws.active = true;
-    auto& sched = apgas::Runtime::get().sched(apgas::here());
-    for (;;) {
-      std::size_t done;
-      while ((done = ws.bag.process(cfg.chunk)) > 0) {
-        ws.stats.processed += done;
-        distribute(states, cfg);  // serve lifelines promptly
-        while (sched.step()) {
-        }  // service steal requests between chunks
-      }
-      // Bag empty: random steals, re-checking the bag after each attempt
-      // (loot may arrive via a lifeline while we wait).
-      bool got = false;
-      for (int a = 0; a < cfg.random_attempts && !got; ++a) {
-        got = random_steal(states, cfg, ws);
-        if (!ws.bag.empty()) got = true;
-      }
-      if (got || !ws.bag.empty()) continue;
-      register_lifelines(states, ws);
-      if (!ws.bag.empty()) continue;  // raced with a resuscitation
-      break;  // die; a lifeline loot async will resuscitate us
-    }
-    ws.active = false;
-  }
-
   GlbConfig cfg_;
-  States states_;
+  std::vector<Bag> bags_;
+  std::vector<GlbPlaceStats> stats_;
 };
 
 }  // namespace glb

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "x10rt/serialization.h"
+
 namespace glb {
 
 /// What GLB requires of a work bag. Bags are moved between places inside
@@ -78,6 +80,21 @@ class CounterBag {
     return total;
   }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+  // Ser hooks (x10rt::Ser): lets the bag ride GLB frames across processes.
+  void ser_put(x10rt::ByteBuffer& b) const {
+    // std::pair is not trivially copyable; compose element-wise through Ser.
+    x10rt::Ser<decltype(ranges_)>::put(b, ranges_);
+    b.put(spin_);
+    b.put(processed_);
+  }
+  static CounterBag ser_get(x10rt::ByteBuffer& b) {
+    CounterBag bag;
+    bag.ranges_ = x10rt::Ser<decltype(ranges_)>::get(b);
+    bag.spin_ = b.get<int>();
+    bag.processed_ = b.get<std::uint64_t>();
+    return bag;
+  }
 
  private:
   std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges_;

@@ -130,6 +130,23 @@ class BcBag {
     return total;
   }
 
+  // Ser hooks: only the interval list has a wire form. The Shared block is
+  // pointers into bc_run's stack — the shared-memory accumulator model the
+  // kernel is built on — so a deserialized bag re-attaches the process-local
+  // block instead. That keeps in-process GLB frames working; BC-over-GLB
+  // stays a single-process workload by design (docs/transport.md).
+  inline static std::shared_ptr<Shared> process_shared;
+
+  void ser_put(x10rt::ByteBuffer& b) const {
+    x10rt::Ser<decltype(ranges_)>::put(b, ranges_);
+  }
+  static BcBag ser_get(x10rt::ByteBuffer& b) {
+    BcBag bag;
+    bag.ranges_ = x10rt::Ser<decltype(ranges_)>::get(b);
+    bag.shared_ = process_shared;
+    return bag;
+  }
+
  private:
   std::shared_ptr<Shared> shared_;
   std::vector<std::pair<std::int64_t, std::int64_t>> ranges_;
@@ -168,8 +185,10 @@ BcResult bc_run(const BcParams& params) {
     shared->sources = &sources;
     shared->acc = &acc;
     shared->edges = &edges;
+    BcBag::process_shared = shared;  // re-attach point for deserialized bags
     glb::Glb<BcBag> balancer(params.glb);
     balancer.run(BcBag(shared, 0, nsources));
+    BcBag::process_shared.reset();
   } else {
     // Static partition: place p owns an equal chunk of the permuted list.
     const std::int64_t chunk = (nsources + places - 1) / places;

@@ -61,6 +61,26 @@ class UtsBag {
   /// frames from the tail instead of interval fragments.
   bool legacy_lists = false;
 
+  // Ser hooks (x10rt::Ser): Frame and TreeShape are trivially copyable, so
+  // the whole bag ships as flat vectors — this is what lets UTS-over-GLB run
+  // across place processes.
+  void ser_put(x10rt::ByteBuffer& b) const {
+    b.put_vector(frames_);
+    b.put(tree_);
+    b.put(nodes_);
+    b.put(hashes_);
+    b.put(legacy_lists);
+  }
+  static UtsBag ser_get(x10rt::ByteBuffer& b) {
+    UtsBag bag;
+    bag.frames_ = b.get_vector<Frame>();
+    bag.tree_ = b.get<TreeShape>();
+    bag.nodes_ = b.get<std::uint64_t>();
+    bag.hashes_ = b.get<std::uint64_t>();
+    bag.legacy_lists = b.get<bool>();
+    return bag;
+  }
+
  private:
   struct Frame {
     UtsNodeState state;

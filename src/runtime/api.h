@@ -4,10 +4,13 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <tuple>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -167,6 +170,10 @@ inline void asyncAt(int p, std::function<void()> f) {
     async(std::move(f));
     return;
   }
+  // Closures cannot cross a process boundary; fail *before*
+  // prepare_remote_spawn mints credit / remote_spawn state so the abort
+  // leaves the finish books untouched (diagnosable, recoverable-in-principle).
+  rt.check_closure_can_reach(p);
   detail::RemoteSpawn rs = detail::prepare_remote_spawn(rt, p);
   rt.send_task(p, std::move(f), rs.wire, rs.credit, rs.span, rs.parent_span);
 }
@@ -179,8 +186,18 @@ inline void asyncAt(int p, std::function<void()> f) {
 inline void asyncAtFrame(int p, int fn_id, x10rt::ByteBuffer args = {}) {
   Runtime& rt = Runtime::get();
   if (p == here()) {
-    TaskFn fn = task_fn(fn_id);  // aborts on a bad id, same as the wire path
-    async([fn, data = args.take_data()]() mutable {
+    // The argument convention is "the task sees the unread suffix
+    // [position(), size())" — identical to what send_task_frame ships — so
+    // a caller that pre-read a prefix gets the same bytes locally as over
+    // the wire.
+    const TaskFn& fn = task_fn(fn_id);  // aborts on a bad id, like the wire
+    const std::size_t pos = args.position();
+    std::vector<std::byte> data = args.take_data();
+    if (pos != 0) {
+      data.erase(data.begin(),
+                 data.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+    async([fn, data = std::move(data)]() mutable {
       x10rt::ByteBuffer b{std::move(data)};
       fn(b);
     });
@@ -198,6 +215,9 @@ template <typename F>
 auto at(int p, F&& f) -> std::invoke_result_t<F> {
   using R = std::invoke_result_t<F>;
   if (p == here()) return std::forward<F>(f)();
+  // Fail before the FINISH_HERE below opens (pre-bookkeeping diagnosable
+  // abort); cross-process blocking gets use atArgs instead.
+  Runtime::get().check_closure_can_reach(p);
   const int home = here();
   std::exception_ptr ex;
   if constexpr (std::is_void_v<R>) {
@@ -251,6 +271,159 @@ inline void immediate_at(int p, std::function<void()> fn,
   m.bytes = bytes;
   m.run = std::move(fn);
   Runtime::get().transport().send(p, std::move(m));
+}
+
+/// Fire-and-forget *frame* immediate: the wire twin of immediate_at for a
+/// registered task function plus serialized args. Same accounting as
+/// immediate_at (not finish-governed, no tasks_shipped, no ship-latency
+/// sample) but crosses process boundaries. Always routed through the
+/// transport, even to self, so both backends count it identically.
+inline void immediateAtFrame(int p, int fn_id, x10rt::ByteBuffer args = {},
+                             x10rt::MsgType type = x10rt::MsgType::kOther) {
+  Runtime::get().send_immediate_frame(p, fn_id, std::move(args), type);
+}
+
+// --- typed remote tasks (ISSUE 10) ------------------------------------------
+//
+// The raw frame convention (fn id + hand-packed ByteBuffer) works but makes
+// every call site a codec. These wrappers play the role of the X10 compiler's
+// serialization pass: arguments travel through x10rt::Ser<T> in call order
+// and are rebuilt as a tuple at the destination.
+//
+// Registration contract: construct RemoteFn/RemoteGet objects at namespace
+// scope (pre-main, hence pre-fork) so every place process assigns the same
+// ids — the same rule as register_task_fn.
+
+/// Packs `args` through Ser and spawns the registered frame task `fn_id` at
+/// place p under the innermost finish. The handler is expected to unpack the
+/// same types in the same order (use RemoteFn to get that by construction).
+template <typename... Ts>
+void asyncAtArgs(int p, int fn_id, const Ts&... args) {
+  x10rt::ByteBuffer b;
+  x10rt::ser_put(b, args...);
+  asyncAtFrame(p, fn_id, std::move(b));
+}
+
+/// A void remote function with typed arguments. Wraps `void fn(Args...)` in
+/// an auto-registered frame task whose trampoline Ser-decodes
+/// std::tuple<std::decay_t<Args>...> and applies `fn`.
+template <typename... Args>
+class RemoteFn {
+ public:
+  explicit RemoteFn(void (*fn)(Args...))
+      : id_(register_task_fn([fn](x10rt::ByteBuffer& b) {
+          auto tup = x10rt::ser_get<std::tuple<std::decay_t<Args>...>>(b);
+          std::apply(fn, std::move(tup));
+        })) {}
+
+  [[nodiscard]] int id() const { return id_; }
+
+ private:
+  int id_;
+};
+
+/// Typed spawn: each actual is encoded with the *declared* parameter type
+/// (Ser<std::decay_t<Args>>), so literals and convertibles ship in the
+/// registered signature's wire form, not their own.
+template <typename... Args, typename... Actuals>
+void asyncAtArgs(int p, const RemoteFn<Args...>& fn, const Actuals&... args) {
+  static_assert(sizeof...(Args) == sizeof...(Actuals),
+                "asyncAtArgs: argument count must match the RemoteFn");
+  x10rt::ByteBuffer b;
+  (x10rt::Ser<std::decay_t<Args>>::put(b, args), ...);
+  asyncAtFrame(p, fn.id(), std::move(b));
+}
+
+namespace detail {
+
+/// Home-side landing slot of one blocking typed get, addressed by pointer
+/// token inside the request frame. Lives on the caller's stack for the
+/// duration of its FINISH_HERE, which the response spawn is governed by.
+template <typename R>
+struct GetState {
+  std::optional<R> value;
+  std::exception_ptr ex;
+};
+
+/// Response leg of the typed get, one registered task per result type.
+/// Frame: [token u64][home i32][has_ex u8][Ser<R> | encoded exception].
+/// The id is a static data member of a class template: its dynamic
+/// initialization runs pre-main wherever the type is instantiated, and the
+/// launcher forks after static init, so every place process agrees on it.
+template <typename R>
+struct GetRsp {
+  static void handler(x10rt::ByteBuffer& b) {
+    const auto token = b.get<std::uint64_t>();
+    const auto home = b.get<std::int32_t>();
+    if (home != here()) {
+      assert(false && "typed-get response landed away from home");
+      return;
+    }
+    auto* st = reinterpret_cast<GetState<R>*>(
+        static_cast<std::uintptr_t>(token));
+    if (b.get<std::uint8_t>() != 0) {
+      st->ex = wire_decode_exception(b);
+    } else {
+      st->value.emplace(x10rt::ser_get<R>(b));
+    }
+  }
+  static const int id;
+};
+
+template <typename R>
+const int GetRsp<R>::id = register_task_fn(&GetRsp<R>::handler);
+
+}  // namespace detail
+
+/// A value-returning remote function with typed arguments: the wire form of
+/// the blocking `at(p) e` get. The request trampoline applies `fn` and
+/// frame-spawns the Ser-encoded result (or the encoded exception) back to
+/// the caller.
+template <typename R, typename... Args>
+class RemoteGet {
+ public:
+  explicit RemoteGet(R (*fn)(Args...))
+      : id_(register_task_fn([fn](x10rt::ByteBuffer& b) {
+          const auto token = b.get<std::uint64_t>();
+          const auto home = b.get<std::int32_t>();
+          x10rt::ByteBuffer rsp;
+          rsp.put(token);
+          rsp.put(home);
+          try {
+            auto tup = x10rt::ser_get<std::tuple<std::decay_t<Args>...>>(b);
+            R value = std::apply(fn, std::move(tup));
+            rsp.put<std::uint8_t>(0);
+            x10rt::Ser<R>::put(rsp, value);
+          } catch (...) {
+            rsp.put<std::uint8_t>(1);
+            wire_encode_exception(rsp, std::current_exception());
+          }
+          asyncAtFrame(home, detail::GetRsp<R>::id, std::move(rsp));
+        })) {}
+
+  [[nodiscard]] int id() const { return id_; }
+
+ private:
+  int id_;
+};
+
+/// Blocking typed get: `atArgs(p, fn, args...)` shifts to place p, applies
+/// the registered function, and returns the Ser-decoded result — the
+/// cross-process form of `at(p, e)`, same FINISH_HERE round-trip shape.
+/// Remote exceptions arrive through the wire codec (standard exception
+/// types preserved, others degrade to std::runtime_error).
+template <typename R, typename... Args, typename... Actuals>
+R atArgs(int p, const RemoteGet<R, Args...>& fn, const Actuals&... args) {
+  static_assert(sizeof...(Args) == sizeof...(Actuals),
+                "atArgs: argument count must match the RemoteGet");
+  detail::GetState<R> st;
+  x10rt::ByteBuffer req;
+  req.put(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&st)));
+  req.put<std::int32_t>(here());
+  (x10rt::Ser<std::decay_t<Args>>::put(req, args), ...);
+  finish(Pragma::kHere, [&] { asyncAtFrame(p, fn.id(), std::move(req)); });
+  if (st.ex) std::rethrow_exception(st.ex);
+  return std::move(*st.value);
 }
 
 /// A global reference: freely copyable between places, dereferenceable only

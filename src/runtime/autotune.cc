@@ -46,6 +46,9 @@ void Autotune::on_flush(int src, int dst, std::uint32_t records,
     case x10rt::FlushReason::kSize: st.window.size_flushes += 1; break;
     case x10rt::FlushReason::kCount: st.window.count_flushes += 1; break;
     case x10rt::FlushReason::kIdle: st.window.idle_flushes += 1; break;
+    // A latency-forced cut for rendezvous traffic carries the same signal
+    // as an idle flush: the envelope never earned its residency.
+    case x10rt::FlushReason::kImmediate: st.window.idle_flushes += 1; break;
     case x10rt::FlushReason::kQuiesce: break;  // unreachable (early return)
   }
 }

@@ -520,19 +520,14 @@ void fin_report_exception(Runtime& rt, const FinCtx& ctx,
   if (!ctx.key.valid()) std::rethrow_exception(ep);  // system activity
   const FinishKey key = ctx.key;
   if (rt.multi_process() && key.home != rt.local_place()) {
-    // std::exception_ptr has no wire form: serialize what() and rebuild a
-    // std::runtime_error at the home place (rt_am_exception in runtime.cc).
-    std::string what = "remote exception";
-    try {
-      std::rethrow_exception(ep);
-    } catch (const std::exception& e) {
-      what = e.what();
-    } catch (...) {
-    }
+    // std::exception_ptr has no wire form: the typed codec
+    // (wire_encode_exception, runtime.h) classifies standard exceptions so
+    // the home place rebuilds the matching std type; unknown types degrade
+    // to std::runtime_error with the original what().
     x10rt::ByteBuffer frame = rt.transport().acquire_buffer();
     frame.put<std::int32_t>(key.home);
     frame.put<std::uint64_t>(key.seq);
-    frame.put_string(what);
+    wire_encode_exception(frame, ep);
     rt.transport().send_am(here(), key.home, rt.am_exception(),
                            std::move(frame), x10rt::MsgType::kControl);
     return;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <new>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -39,11 +41,11 @@ std::vector<TaskFn>& task_registry() {
 
 int register_task_fn(TaskFn fn) {
   auto& fns = task_registry();
-  fns.push_back(fn);
+  fns.push_back(std::move(fn));
   return static_cast<int>(fns.size()) - 1;
 }
 
-TaskFn task_fn(int id) {
+const TaskFn& task_fn(int id) {
   auto& fns = task_registry();
   if (id < 0 || id >= static_cast<int>(fns.size())) {
     std::fprintf(stderr,
@@ -81,7 +83,7 @@ void rt_am_spawn(Runtime& rt, x10rt::ByteBuffer& buf) {
   const auto src = buf.get<std::int32_t>();
   const auto t_send_ns = buf.get<std::uint64_t>();
   const auto fn_id = buf.get<std::int32_t>();
-  TaskFn fn = task_fn(fn_id);  // aborts on an out-of-range wire id
+  const TaskFn& fn = task_fn(fn_id);  // aborts on an out-of-range wire id
   std::vector<std::byte> args(buf.remaining());
   if (!args.empty()) buf.get_raw(args.data(), args.size());
   if (t_send_ns != 0 && hist::enabled()) {
@@ -100,14 +102,15 @@ void rt_am_spawn(Runtime& rt, x10rt::ByteBuffer& buf) {
   rt.sched(here()).run_activity(act);
 }
 
-/// am_exception frame: [home i32][seq u64][what string]. Used only across
-/// processes — in-process, fin_report_exception ships the original
-/// exception_ptr so tests keep exact exception-type identity.
+/// am_exception frame: [home i32][seq u64][kind u8][what string] (the wire
+/// codec below). Used only across processes — in-process,
+/// fin_report_exception ships the original exception_ptr so tests keep exact
+/// exception-type identity even for user-defined types.
 void rt_am_exception(Runtime& rt, x10rt::ByteBuffer& buf) {
   FinishKey key;
   key.home = buf.get<std::int32_t>();
   key.seq = buf.get<std::uint64_t>();
-  const std::string what = buf.get_string();
+  const std::exception_ptr ep = wire_decode_exception(buf);
   if (key.home != here()) {
     std::fprintf(stderr,
                  "[apgas] fatal: exception frame for place %d arrived at "
@@ -115,12 +118,115 @@ void rt_am_exception(Runtime& rt, x10rt::ByteBuffer& buf) {
                  key.home, here());
     std::abort();
   }
-  rt.with_home_finish(key, [&what](FinishHome& fh) {
-    fh.on_exception(std::make_exception_ptr(std::runtime_error(what)));
-  });
+  rt.with_home_finish(key, [&ep](FinishHome& fh) { fh.on_exception(ep); });
+}
+
+/// am_immediate frame: [fn_id i32][args...]. Runs inline on the poller, like
+/// immediate_at's closure — no finish scope, no activity, no scheduler.
+void rt_am_immediate(Runtime& /*rt*/, x10rt::ByteBuffer& buf) {
+  const auto fn_id = buf.get<std::int32_t>();
+  const TaskFn& fn = task_fn(fn_id);  // aborts on an out-of-range wire id
+  fn(buf);
 }
 
 }  // namespace
+
+// --- exception wire codec (runtime.h) ---------------------------------------
+
+namespace {
+
+/// Standard-exception table for the wire codec: most-derived types first so
+/// the encoder's catch classification picks the tightest match. Kind 0 is
+/// the degraded "unknown type, keep the what()" form.
+enum class ExcKind : std::uint8_t {
+  kUnknown = 0,
+  kRuntimeError,
+  kLogicError,
+  kInvalidArgument,
+  kOutOfRange,
+  kLengthError,
+  kDomainError,
+  kOverflowError,
+  kUnderflowError,
+  kRangeError,
+  kBadAlloc,
+};
+
+}  // namespace
+
+void wire_encode_exception(x10rt::ByteBuffer& b, const std::exception_ptr& ep) {
+  ExcKind kind = ExcKind::kUnknown;
+  std::string what = "remote exception";
+  try {
+    std::rethrow_exception(ep);
+  } catch (const std::invalid_argument& e) {
+    kind = ExcKind::kInvalidArgument;
+    what = e.what();
+  } catch (const std::out_of_range& e) {
+    kind = ExcKind::kOutOfRange;
+    what = e.what();
+  } catch (const std::length_error& e) {
+    kind = ExcKind::kLengthError;
+    what = e.what();
+  } catch (const std::domain_error& e) {
+    kind = ExcKind::kDomainError;
+    what = e.what();
+  } catch (const std::overflow_error& e) {
+    kind = ExcKind::kOverflowError;
+    what = e.what();
+  } catch (const std::underflow_error& e) {
+    kind = ExcKind::kUnderflowError;
+    what = e.what();
+  } catch (const std::range_error& e) {
+    kind = ExcKind::kRangeError;
+    what = e.what();
+  } catch (const std::logic_error& e) {
+    kind = ExcKind::kLogicError;
+    what = e.what();
+  } catch (const std::runtime_error& e) {
+    kind = ExcKind::kRuntimeError;
+    what = e.what();
+  } catch (const std::bad_alloc& e) {
+    kind = ExcKind::kBadAlloc;
+    what = e.what();
+  } catch (const std::exception& e) {
+    what = e.what();
+  } catch (...) {
+  }
+  b.put(static_cast<std::uint8_t>(kind));
+  b.put_string(what);
+}
+
+std::exception_ptr wire_decode_exception(x10rt::ByteBuffer& b) {
+  const auto kind = static_cast<ExcKind>(b.get<std::uint8_t>());
+  const std::string what = b.get_string();
+  switch (kind) {
+    case ExcKind::kRuntimeError:
+      return std::make_exception_ptr(std::runtime_error(what));
+    case ExcKind::kLogicError:
+      return std::make_exception_ptr(std::logic_error(what));
+    case ExcKind::kInvalidArgument:
+      return std::make_exception_ptr(std::invalid_argument(what));
+    case ExcKind::kOutOfRange:
+      return std::make_exception_ptr(std::out_of_range(what));
+    case ExcKind::kLengthError:
+      return std::make_exception_ptr(std::length_error(what));
+    case ExcKind::kDomainError:
+      return std::make_exception_ptr(std::domain_error(what));
+    case ExcKind::kOverflowError:
+      return std::make_exception_ptr(std::overflow_error(what));
+    case ExcKind::kUnderflowError:
+      return std::make_exception_ptr(std::underflow_error(what));
+    case ExcKind::kRangeError:
+      return std::make_exception_ptr(std::range_error(what));
+    case ExcKind::kBadAlloc:
+      // what() is implementation-defined for bad_alloc; keep the type.
+      return std::make_exception_ptr(std::bad_alloc());
+    case ExcKind::kUnknown:
+      break;
+  }
+  return std::make_exception_ptr(std::runtime_error(what));
+}
 
 Runtime::Runtime(const Config& cfg, const launcher::SocketWiring* wiring)
     : cfg_(cfg) {
@@ -281,6 +387,10 @@ Runtime::Runtime(const Config& cfg, const launcher::SocketWiring* wiring)
     self->shutdown_.store(true, std::memory_order_release);
     self->transport_->notify(here());
   });
+  // Immediate frames (ISSUE 10): registered last so every pre-existing wire
+  // id is unchanged.
+  am_immediate_ = transport_->register_am(
+      [self](x10rt::ByteBuffer& buf) { rt_am_immediate(*self, buf); });
 
   // Attach the wire backend only now that every AM is registered: the
   // backend's I/O thread starts delivering peer frames immediately, and a
@@ -713,14 +823,42 @@ void Runtime::send_task_frame(int dst, int fn_id, x10rt::ByteBuffer args,
   frame.put<std::int32_t>(here());
   frame.put<std::uint64_t>(hist::enabled() ? hist::now_ns() : 0);
   frame.put<std::int32_t>(fn_id);
-  if (args.size() != 0) frame.put_raw(args.bytes().data(), args.size());
+  // Ship exactly the unread suffix [position(), size()): the argument
+  // convention is "the task function sees the bytes the caller had not yet
+  // consumed", and the local fast path in asyncAtFrame honors the same
+  // slice, so a caller that pre-read a prefix gets identical bytes either
+  // way (ISSUE 10 satellite).
+  if (args.remaining() != 0) {
+    frame.put_raw(args.bytes().data() + args.position(), args.remaining());
+  }
   transport_->send_am(here(), dst, am_spawn_, std::move(frame),
                       x10rt::MsgType::kTask);
 }
 
-void Runtime::send_task(int dst, std::function<void()> body, const FinCtx& ctx,
-                        std::uint64_t credit, std::uint64_t span,
-                        std::uint64_t parent_span) {
+void Runtime::send_immediate_frame(int dst, int fn_id, x10rt::ByteBuffer args,
+                                   x10rt::MsgType type) {
+  // Mirrors immediate_at's accounting exactly: a trace event plus the
+  // transport's own per-class tallies — no tasks_shipped bump, no
+  // ship-latency stamp (run_diff relies on ship-histogram count ==
+  // tasks_shipped).
+  trace::emit(trace::Ev::kMsgSend, static_cast<std::uint64_t>(type),
+              static_cast<std::uint64_t>(dst));
+  x10rt::ByteBuffer frame = transport_->acquire_buffer();
+  frame.put<std::int32_t>(fn_id);
+  if (args.remaining() != 0) {
+    frame.put_raw(args.bytes().data() + args.position(), args.remaining());
+  }
+  transport_->send_am(here(), dst, am_immediate_, std::move(frame), type);
+  // Immediates are rendezvous traffic: the caller typically blocks for the
+  // peer's reply *inside an activity* (Team barrier, a GLB steal wait), so
+  // the scheduler's idle-hook flush may never run on this worker. Parking
+  // the frame in a half-full envelope would deadlock the exchange — cut the
+  // sender's envelopes now (the other half of the no-deadlock coalescing
+  // contract; docs/transport.md).
+  transport_->flush_coalesced(here(), x10rt::FlushReason::kImmediate);
+}
+
+void Runtime::check_closure_can_reach(int dst) const {
   if (multi_process() && dst != local_place_) {
     std::fprintf(stderr,
                  "[apgas] fatal: closure spawn (asyncAt/at) to place %d "
@@ -730,6 +868,14 @@ void Runtime::send_task(int dst, std::function<void()> body, const FinCtx& ctx,
                  dst);
     std::abort();
   }
+}
+
+void Runtime::send_task(int dst, std::function<void()> body, const FinCtx& ctx,
+                        std::uint64_t credit, std::uint64_t span,
+                        std::uint64_t parent_span) {
+  // Backstop only: api.h's spawn sites call check_closure_can_reach before
+  // any finish bookkeeping mutates, so this should be unreachable.
+  check_closure_can_reach(dst);
   finc_.tasks_shipped->fetch_add(1, std::memory_order_relaxed);
   trace::emit(trace::Ev::kMsgSend,
               static_cast<std::uint64_t>(x10rt::MsgType::kTask),

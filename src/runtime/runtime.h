@@ -170,6 +170,22 @@ class Runtime {
   /// Sends a control-message closure (finish protocol traffic).
   void send_ctrl(int dst, std::function<void()> fn, std::size_t bytes);
 
+  /// Ships a fire-and-forget *frame* immediate — a registered task-function
+  /// id plus serialized args, run inline by the receiver's poller outside
+  /// any finish scope. The wire twin of immediate_at (api.h): same
+  /// accounting (no tasks_shipped bump, no ship-latency sample), but the
+  /// payload is bytes instead of a closure, so it crosses process
+  /// boundaries. Always routes through the transport, even to self.
+  void send_immediate_frame(int dst, int fn_id, x10rt::ByteBuffer args,
+                            x10rt::MsgType type = x10rt::MsgType::kOther);
+
+  /// Aborts with the closure-cannot-cross-processes diagnostic when `dst`
+  /// lives in another process. Spawn sites call this *before* any finish
+  /// bookkeeping mutates (credit minting, remote_spawn) so the failure is
+  /// diagnosable pre-side-effect; send_task keeps the same check as a
+  /// backstop.
+  void check_closure_can_reach(int dst) const;
+
   /// Records a frame task's ship->execute latency: in-process samples join
   /// task.ship_ns; cross-process ones are clamped into task.ship_xproc_ns
   /// (the sender's clock is another process's domain) and — when the
@@ -194,6 +210,7 @@ class Runtime {
   [[nodiscard]] int am_credit() const { return am_credit_; }
   [[nodiscard]] int am_spawn() const { return am_spawn_; }
   [[nodiscard]] int am_exception() const { return am_exception_; }
+  [[nodiscard]] int am_immediate() const { return am_immediate_; }
 
  private:
   explicit Runtime(const Config& cfg,
@@ -229,6 +246,7 @@ class Runtime {
   int am_spawn_ = -1;
   int am_exception_ = -1;
   int am_shutdown_ = -1;
+  int am_immediate_ = -1;
   int local_place_ = -1;  // >= 0 iff this process hosts exactly one place
   // Ship-latency histograms for the frame-task path, resolved once (the
   // closure path's live in Scheduler).
@@ -268,5 +286,20 @@ inline std::uint64_t current_span() {
 
 /// The finish context new spawns should register under.
 FinCtx current_spawn_ctx();
+
+// --- exception wire codec ----------------------------------------------------
+//
+// Cross-process exception rides cannot ship an exception_ptr, so the wire
+// form is [kind u8][what string]: the encoder classifies the thrown type into
+// a small table of standard exceptions (most-derived first) and the decoder
+// rebuilds the matching std type, preserving type identity for every standard
+// exception. Anything unrecognized degrades to std::runtime_error with the
+// original what() — the documented fidelity limit (docs/transport.md).
+
+/// Appends [kind u8][what string] for the given in-flight exception.
+void wire_encode_exception(x10rt::ByteBuffer& b, const std::exception_ptr& ep);
+
+/// Reads [kind u8][what string]; returns a rebuilt exception_ptr.
+std::exception_ptr wire_decode_exception(x10rt::ByteBuffer& b);
 
 }  // namespace apgas

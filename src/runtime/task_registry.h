@@ -10,11 +10,13 @@
 // construction).
 #pragma once
 
+#include <functional>
+
 #include "x10rt/serialization.h"
 
 namespace apgas {
 
-using TaskFn = void (*)(x10rt::ByteBuffer& args);
+using TaskFn = std::function<void(x10rt::ByteBuffer& args)>;
 
 /// Registers a task function; returns its stable id (see file comment for
 /// the cross-process ordering contract). Not thread-safe: call from
@@ -23,7 +25,7 @@ int register_task_fn(TaskFn fn);
 
 /// Resolves an id to its function. Ids arrive over the wire, so an
 /// out-of-range value aborts with a message rather than indexing blindly.
-TaskFn task_fn(int id);
+const TaskFn& task_fn(int id);
 
 [[nodiscard]] int num_task_fns();
 

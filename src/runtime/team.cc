@@ -62,7 +62,18 @@ Hierarchy& TeamState::hierarchy() {
     const int nranks = static_cast<int>(members.size());
     h->domain.assign(static_cast<std::size_t>(nranks),
                      std::vector<int>(3, 0));
-    if (cfg.team_places_per_octant > 0) {
+    if (Runtime::get().multi_process()) {
+      // Place processes share no memory, so the shared-memory leaf-group
+      // fast path (GroupShared single-copy publish) cannot exist: collapse
+      // every leaf group to a singleton. Each rank leads itself and all
+      // payload movement rides mail frames up the leader tree — the
+      // hierarchical algorithms then never touch a group counter (gsize==1)
+      // and remain correct across processes.
+      for (int r = 0; r < nranks; ++r) {
+        h->domain[static_cast<std::size_t>(r)][0] = r;
+      }
+      h->levels = 1;
+    } else if (cfg.team_places_per_octant > 0) {
       percs::MachineShape shape;
       shape.cores_per_octant = cfg.team_places_per_octant;
       shape.octants_per_drawer =
@@ -213,13 +224,83 @@ TeamState::TeamState(std::uint64_t team_id, TeamMode m, std::vector<int> mem)
 namespace {
 std::mutex g_registry_mu;
 std::unordered_map<std::uint64_t, std::shared_ptr<TeamState>> g_registry;
+
+/// Mail that arrived (as a frame task) before this process created the team
+/// it addresses — possible only across processes, where each place builds
+/// its registry independently and a fast sender can beat the receiver's
+/// get_or_create. Drained, in arrival order, when the team appears.
+struct PendingMail {
+  std::uint64_t seq;
+  int tag;
+  int src_rank;
+  int dst_rank;
+  std::vector<std::byte> payload;
+};
+std::unordered_map<std::uint64_t, std::vector<PendingMail>> g_pending;
+
+/// Files one payload into the destination member's mailbox. Lock order is
+/// registry -> member everywhere (get_or_create drains pending mail while
+/// holding the registry lock), never the reverse.
+void file_mail(TeamState& team, std::uint64_t seq, int tag, int src_rank,
+               int dst_rank, std::vector<std::byte> payload) {
+  if (dst_rank < 0 || dst_rank >= static_cast<int>(team.per.size())) {
+    std::fprintf(stderr,
+                 "[apgas] fatal: team mail frame addresses rank %d of team "
+                 "%llu (size %zu)\n",
+                 dst_rank, static_cast<unsigned long long>(team.id),
+                 team.per.size());
+    std::abort();
+  }
+  auto& member = *team.per[static_cast<std::size_t>(dst_rank)];
+  std::scoped_lock lock(member.mu);
+  member.mail.emplace(std::make_tuple(seq, tag, src_rank),
+                      std::move(payload));
+}
+
+/// The registered frame task carrying emulated/hierarchical Team mail:
+/// [team_id u64][seq u64][tag i32][src_rank i32][dst_rank i32][payload raw].
+/// Registered pre-main (pre-fork), so every place process of one binary
+/// agrees on the id — the same contract as every other frame task.
+void team_mail_task(x10rt::ByteBuffer& b) {
+  const auto team_id = b.get<std::uint64_t>();
+  const auto seq = b.get<std::uint64_t>();
+  const int tag = b.get<std::int32_t>();
+  const int src_rank = b.get<std::int32_t>();
+  const int dst_rank = b.get<std::int32_t>();
+  std::vector<std::byte> payload(b.remaining());
+  if (!payload.empty()) b.get_raw(payload.data(), payload.size());
+  std::shared_ptr<TeamState> team;
+  {
+    std::scoped_lock lock(g_registry_mu);
+    auto it = g_registry.find(team_id);
+    if (it == g_registry.end()) {
+      g_pending[team_id].push_back(
+          {seq, tag, src_rank, dst_rank, std::move(payload)});
+      return;
+    }
+    team = it->second;
+  }
+  file_mail(*team, seq, tag, src_rank, dst_rank, std::move(payload));
+}
 }  // namespace
+
+const int kTeamMailTask = apgas::register_task_fn(&team_mail_task);
 
 std::shared_ptr<TeamState> get_or_create(std::uint64_t id, TeamMode mode,
                                          const std::vector<int>& members) {
   std::scoped_lock lock(g_registry_mu);
   auto& slot = g_registry[id];
-  if (!slot) slot = std::make_shared<TeamState>(id, mode, members);
+  if (!slot) {
+    slot = std::make_shared<TeamState>(id, mode, members);
+    // Deliver mail frames that raced ahead of this process's create.
+    if (auto it = g_pending.find(id); it != g_pending.end()) {
+      for (auto& m : it->second) {
+        file_mail(*slot, m.seq, m.tag, m.src_rank, m.dst_rank,
+                  std::move(m.payload));
+      }
+      g_pending.erase(it);
+    }
+  }
   assert(slot->members == members && slot->mode == mode &&
          "team id collision with different membership");
   return slot;
@@ -228,6 +309,7 @@ std::shared_ptr<TeamState> get_or_create(std::uint64_t id, TeamMode mode,
 void registry_clear() {
   std::scoped_lock lock(g_registry_mu);
   g_registry.clear();
+  g_pending.clear();
   auto& s = hier_stats();
   s.levels.store(0, std::memory_order_relaxed);
   s.leaders.store(0, std::memory_order_relaxed);
@@ -254,20 +336,19 @@ std::uint64_t Team::next_seq() {
 
 void Team::send_bytes(std::uint64_t seq, int tag, int dst_rank,
                       std::vector<std::byte> payload) {
+  // Mail rides a registered frame task instead of a closure, so it crosses
+  // process boundaries under the socket backend; the in-process backend runs
+  // the identical frame path, keeping both backends' accounting equal.
   const int dst_place = place_of(dst_rank);
-  const int src_rank = rank();
-  auto state = state_;
-  const std::size_t bytes = payload.size();
-  immediate_at(
-      dst_place,
-      [state, seq, tag, src_rank, dst_rank,
-       payload = std::move(payload)]() mutable {
-        auto& member = *state->per[static_cast<std::size_t>(dst_rank)];
-        std::scoped_lock lock(member.mu);
-        member.mail.emplace(std::make_tuple(seq, tag, src_rank),
-                            std::move(payload));
-      },
-      x10rt::MsgType::kCollective, bytes);
+  auto frame = Runtime::get().transport().acquire_buffer();
+  frame.put(state_->id);
+  frame.put(seq);
+  frame.put(static_cast<std::int32_t>(tag));
+  frame.put(static_cast<std::int32_t>(rank()));
+  frame.put(static_cast<std::int32_t>(dst_rank));
+  if (!payload.empty()) frame.put_raw(payload.data(), payload.size());
+  immediateAtFrame(dst_place, team_detail::kTeamMailTask, std::move(frame),
+                   x10rt::MsgType::kCollective);
 }
 
 std::vector<std::byte> Team::recv_bytes(std::uint64_t seq, int tag,
@@ -304,11 +385,12 @@ void Team::barrier() {
   team_detail::PhaseScope phase(team_detail::kOpBarrier, state_->id);
   const int sz = size();
   if (sz == 1) return;
-  if (state_->mode == TeamMode::kNative) {
+  const TeamMode m = effective_mode();
+  if (m == TeamMode::kNative) {
     native_barrier();
     return;
   }
-  if (state_->mode == TeamMode::kHierarchical) {
+  if (m == TeamMode::kHierarchical) {
     hier_barrier();
     return;
   }

@@ -247,6 +247,21 @@ class Team {
   }
   [[nodiscard]] TeamMode mode() const { return state_->mode; }
 
+  /// The mode collectives actually dispatch on. kNative's shared atomics and
+  /// staging buffers cannot cross a process boundary, so under the socket
+  /// backend a team declared kNative runs the emulated point-to-point
+  /// algorithms instead (mail rides registered frame tasks, which serialize).
+  /// The declared mode() is unchanged — the downgrade is a per-call dispatch
+  /// decision, mirroring X10RT falling back to the emulation layer when the
+  /// network has no native collective support.
+  [[nodiscard]] TeamMode effective_mode() const {
+    if (state_->mode == TeamMode::kNative && Runtime::active() &&
+        Runtime::get().multi_process()) {
+      return TeamMode::kEmulated;
+    }
+    return state_->mode;
+  }
+
   /// Collective barrier.
   void barrier();
 
@@ -340,7 +355,8 @@ void Team::bcast(int root, T* buf, std::size_t n) {
   const int sz = size();
   if (sz == 1) return;
   const std::size_t bytes = n * sizeof(T);
-  if (state_->mode == TeamMode::kNative) {
+  const TeamMode m = effective_mode();
+  if (m == TeamMode::kNative) {
     native_barrier();
     std::byte* stage = native_stage(bytes);
     if (rank() == root) std::memcpy(stage, buf, bytes);
@@ -349,7 +365,7 @@ void Team::bcast(int root, T* buf, std::size_t n) {
     native_barrier();
     return;
   }
-  if (state_->mode == TeamMode::kHierarchical) {
+  if (m == TeamMode::kHierarchical) {
     hier_bcast(root, buf, n);
     return;
   }
@@ -387,7 +403,8 @@ void Team::reduce(int root, T* buf, std::size_t n, ReduceOp op) {
   const int sz = size();
   if (sz == 1) return;
   const std::size_t bytes = n * sizeof(T);
-  if (state_->mode == TeamMode::kNative) {
+  const TeamMode m = effective_mode();
+  if (m == TeamMode::kNative) {
     native_barrier();
     std::byte* stage = native_stage(bytes);
     T* acc = reinterpret_cast<T*>(stage);
@@ -403,7 +420,7 @@ void Team::reduce(int root, T* buf, std::size_t n, ReduceOp op) {
     native_barrier();
     return;
   }
-  if (state_->mode == TeamMode::kHierarchical) {
+  if (m == TeamMode::kHierarchical) {
     hier_reduce(root, buf, n, op);
     return;
   }
@@ -449,7 +466,7 @@ void Team::scatter(int root, const T* send, T* recv, std::size_t n) {
     std::memcpy(recv, send, bytes);
     return;
   }
-  if (state_->mode == TeamMode::kNative) {
+  if (effective_mode() == TeamMode::kNative) {
     native_barrier();
     std::byte* stage = native_stage(bytes * static_cast<std::size_t>(sz));
     if (me == root) {
@@ -489,7 +506,7 @@ void Team::gather(int root, const T* send, T* recv, std::size_t n) {
     std::memcpy(recv, send, bytes);
     return;
   }
-  if (state_->mode == TeamMode::kNative) {
+  if (effective_mode() == TeamMode::kNative) {
     native_barrier();
     std::byte* stage = native_stage(bytes * static_cast<std::size_t>(sz));
     std::memcpy(stage + static_cast<std::size_t>(me) * bytes, send, bytes);
@@ -523,7 +540,7 @@ void Team::alltoall(const T* send, T* recv, std::size_t n) {
   const int sz = size();
   const std::size_t bytes = n * sizeof(T);
   const int me = rank();
-  if (state_->mode == TeamMode::kNative) {
+  if (effective_mode() == TeamMode::kNative) {
     // Publish our send buffer, then gather directly from every peer's —
     // the shared-memory stand-in for a hardware all-to-all.
     native_barrier();
@@ -560,7 +577,7 @@ void Team::allgather(const T* send, T* recv, std::size_t n) {
   const int sz = size();
   const std::size_t bytes = n * sizeof(T);
   const int me = rank();
-  if (state_->mode == TeamMode::kNative) {
+  if (effective_mode() == TeamMode::kNative) {
     native_barrier();
     std::byte* stage =
         native_stage(bytes * static_cast<std::size_t>(sz));

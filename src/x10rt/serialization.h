@@ -7,10 +7,12 @@
 // the benches measure coalescing/compression factors the way the paper does.
 #pragma once
 
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <tuple>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -137,5 +139,117 @@ class ByteBuffer {
   std::vector<std::byte> data_;
   std::size_t cursor_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Ser<T>: the typed wire convention for remote-task arguments (ISSUE 10).
+//
+// The X10 compiler emits a serializer per captured type; here the trait plays
+// that role. Resolution order:
+//   1. a type with member hooks `void ser_put(ByteBuffer&) const` and
+//      `static T ser_get(ByteBuffer&)` uses them (user-extensible path);
+//   2. trivially copyable types take the raw-bytes fast path;
+//   3. std::string / std::vector / std::pair / std::tuple compose
+//      element-wise through Ser.
+// Anything else fails to compile with a pointed static_assert instead of
+// silently shipping padding bytes or pointers across a process boundary.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+concept HasSerHooks = requires(const T& ct, T& t, ByteBuffer& b) {
+  { ct.ser_put(b) } -> std::same_as<void>;
+  { T::ser_get(b) } -> std::same_as<T>;
+};
+
+template <typename T>
+struct Ser {
+  static void put(ByteBuffer& b, const T& v) {
+    if constexpr (HasSerHooks<T>) {
+      v.ser_put(b);
+    } else if constexpr (std::is_trivially_copyable_v<T>) {
+      b.put(v);
+    } else {
+      static_assert(HasSerHooks<T> || std::is_trivially_copyable_v<T>,
+                    "Ser<T>: type is neither trivially copyable nor provides "
+                    "ser_put/ser_get hooks; specialize x10rt::Ser<T> or add "
+                    "member hooks to ship it across a process boundary");
+    }
+  }
+  static T get(ByteBuffer& b) {
+    if constexpr (HasSerHooks<T>) {
+      return T::ser_get(b);
+    } else if constexpr (std::is_trivially_copyable_v<T>) {
+      return b.get<T>();
+    } else {
+      static_assert(HasSerHooks<T> || std::is_trivially_copyable_v<T>,
+                    "Ser<T>: type is neither trivially copyable nor provides "
+                    "ser_put/ser_get hooks; specialize x10rt::Ser<T> or add "
+                    "member hooks to ship it across a process boundary");
+    }
+  }
+};
+
+template <>
+struct Ser<std::string> {
+  static void put(ByteBuffer& b, const std::string& s) { b.put_string(s); }
+  static std::string get(ByteBuffer& b) { return b.get_string(); }
+};
+
+template <typename T>
+struct Ser<std::vector<T>> {
+  static void put(ByteBuffer& b, const std::vector<T>& v) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      b.put_vector(v);
+    } else {
+      b.put(static_cast<std::uint32_t>(v.size()));
+      for (const T& e : v) Ser<T>::put(b, e);
+    }
+  }
+  static std::vector<T> get(ByteBuffer& b) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      return b.get_vector<T>();
+    } else {
+      const auto n = b.get<std::uint32_t>();
+      std::vector<T> v;
+      v.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) v.push_back(Ser<T>::get(b));
+      return v;
+    }
+  }
+};
+
+template <typename A, typename B>
+struct Ser<std::pair<A, B>> {
+  static void put(ByteBuffer& b, const std::pair<A, B>& p) {
+    Ser<A>::put(b, p.first);
+    Ser<B>::put(b, p.second);
+  }
+  static std::pair<A, B> get(ByteBuffer& b) {
+    // Braced init guarantees left-to-right evaluation of the two gets.
+    return std::pair<A, B>{Ser<A>::get(b), Ser<B>::get(b)};
+  }
+};
+
+template <typename... Ts>
+struct Ser<std::tuple<Ts...>> {
+  static void put(ByteBuffer& b, const std::tuple<Ts...>& t) {
+    std::apply([&b](const Ts&... es) { (Ser<Ts>::put(b, es), ...); }, t);
+  }
+  static std::tuple<Ts...> get(ByteBuffer& b) {
+    // Braced init guarantees left-to-right evaluation, matching put order.
+    return std::tuple<Ts...>{Ser<Ts>::get(b)...};
+  }
+};
+
+/// Packs a sequence of values through Ser in argument order.
+template <typename... Ts>
+void ser_put(ByteBuffer& b, const Ts&... vs) {
+  (Ser<std::decay_t<Ts>>::put(b, vs), ...);
+}
+
+/// Reads one value through Ser.
+template <typename T>
+T ser_get(ByteBuffer& b) {
+  return Ser<T>::get(b);
+}
 
 }  // namespace x10rt

@@ -300,8 +300,10 @@ void Transport::deliver_frame(int peer, const std::uint8_t* data,
     case frame::Kind::kEnvelope: {
       std::vector<std::byte> train(h.payload_len);
       std::memcpy(train.data(), data + frame::kHeaderBytes, h.payload_len);
-      m.run = [this, train = std::move(train)]() mutable {
-        deliver_envelope(ByteBuffer{std::move(train)});
+      const int env_src = h.src;
+      const int env_dst = local_place_;
+      m.run = [this, env_src, env_dst, train = std::move(train)]() mutable {
+        deliver_envelope(env_src, env_dst, ByteBuffer{std::move(train)});
       };
       break;
     }
@@ -1006,8 +1008,8 @@ void Transport::ship_envelope(int src, int dst, ByteBuffer env,
     m.rflags |= kMsgEnvelope;
     m.wire = std::make_shared<const std::vector<std::byte>>(env.take_data());
   } else {
-    m.run = [this, env = std::move(env)]() mutable {
-      deliver_envelope(std::move(env));
+    m.run = [this, src, dst, env = std::move(env)]() mutable {
+      deliver_envelope(src, dst, std::move(env));
     };
   }
   // The records were counted at send_am time; the envelope itself must not
@@ -1015,29 +1017,41 @@ void Transport::ship_envelope(int src, int dst, ByteBuffer env,
   send_unrecorded(dst, std::move(m));
 }
 
-void Transport::deliver_envelope(ByteBuffer env) {
-  // One scratch buffer serves every record in the train: handlers receive
-  // the payload by reference and may not retain it past the call, so the
-  // storage can be recycled record-to-record without going back to the
-  // pool each time.
-  std::vector<std::byte> storage = pool_.acquire();
+void Transport::deliver_envelope(int src, int dst, ByteBuffer env) {
+  // Each record becomes its own inbox message — running handlers inline
+  // here would deadlock: a spawn record's activity body runs synchronously
+  // (rt_am_spawn -> run_activity) and may block on a rendezvous whose reply
+  // rides a LATER record of this same train. The blocked activity's nested
+  // inbox pump drains the inbox, not this stack frame, so the trapped
+  // records would never deliver. Re-enqueued one by one, coalesced delivery
+  // is behaviourally identical to the uncoalesced path. The records carry
+  // no reliability sequence (the envelope itself was the sequenced wire
+  // unit), so chaos drop/dup — which would be un-retransmittable here —
+  // never applies to them.
   envelope::for_each_record(
-      env, [this, &storage](int handler, ByteBuffer& buf, std::uint32_t len) {
+      env, [this, src, dst](int handler, ByteBuffer& buf, std::uint32_t len) {
         assert(handler >= 0 &&
                handler < static_cast<int>(am_handlers_.size()) &&
                "envelope record names an unregistered handler");
         // Copy the record out so the handler sees the exact contract of the
         // direct path: a standalone ByteBuffer with cursor 0,
         // size() == payload size.
+        std::vector<std::byte> storage = pool_.acquire();
         storage.clear();
         storage.resize(len);
         buf.get_raw(storage.data(), len);
-        ByteBuffer payload{std::move(storage)};
-        am_handlers_[static_cast<std::size_t>(handler)](payload);
-        storage = payload.take_data();
-        storage.clear();
+        const AmHandler* fn = &am_handlers_[static_cast<std::size_t>(handler)];
+        Message m;
+        m.src = src;
+        m.type = MsgType::kControl;
+        m.bytes = len + sizeof(int);
+        m.run = [this, fn,
+                 payload = ByteBuffer{std::move(storage)}]() mutable {
+          (*fn)(payload);
+          pool_.release(payload.take_data());
+        };
+        wire_deliver(dst, std::move(m));
       });
-  pool_.release(std::move(storage));
   pool_.release(env.take_data());
 }
 

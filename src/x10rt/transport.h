@@ -54,12 +54,15 @@ namespace x10rt {
 /// Why a coalescing envelope left the sender (the flush-reason histogram in
 /// transport.coalesce.flush.*).
 enum class FlushReason : std::uint8_t {
-  kSize,     // envelope reached coalesce_bytes
-  kCount,    // envelope reached coalesce_msgs records
-  kIdle,     // scheduler idle hook flushed the place's partial envelopes
-  kQuiesce,  // explicit quiescence/teardown flush
+  kSize,       // envelope reached coalesce_bytes
+  kCount,      // envelope reached coalesce_msgs records
+  kIdle,       // scheduler idle hook flushed the place's partial envelopes
+  kQuiesce,    // explicit quiescence/teardown flush
+  kImmediate,  // an immediate frame was appended: rendezvous traffic (Team
+               // mail, GLB steals) must ship before the sender can block on
+               // the reply, so the envelope is cut right away
 };
-inline constexpr int kNumFlushReasons = 4;
+inline constexpr int kNumFlushReasons = 5;
 
 inline const char* flush_reason_name(FlushReason r) {
   switch (r) {
@@ -67,6 +70,7 @@ inline const char* flush_reason_name(FlushReason r) {
     case FlushReason::kCount: return "count";
     case FlushReason::kIdle: return "idle";
     case FlushReason::kQuiesce: return "quiesce";
+    case FlushReason::kImmediate: return "immediate";
   }
   return "?";
 }
@@ -654,8 +658,12 @@ class Transport {
   /// was opened (0 = unknown, reports residency 0).
   void ship_envelope(int src, int dst, ByteBuffer env, std::uint32_t records,
                      FlushReason reason, std::uint64_t open_ns);
-  /// Receiver side: unpack an envelope and run each record's AM handler.
-  void deliver_envelope(ByteBuffer env);
+  /// Receiver side: unpack an envelope into one inbox message per record.
+  /// Records are NOT run inline: a spawn record's activity may block (a
+  /// Team rendezvous, a GLB steal wait) with later records of the same
+  /// train still unread — trapped on the delivering thread's stack where
+  /// the blocked activity's nested inbox pump can never reach them.
+  void deliver_envelope(int src, int dst, ByteBuffer env);
   void submit_dma(DmaOp op, MsgType completion_type);
   void dma_loop();
 

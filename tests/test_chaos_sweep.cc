@@ -18,6 +18,7 @@
 // protocol behavior.
 // Registered in CMake with TEST_PREFIX "chaos_sweep/" so
 // `ctest -R chaos_sweep` selects the whole sweep.
+#include "glb/glb.h"
 #include "runtime/api.h"
 #include "runtime/metrics.h"
 #include "runtime/task_registry.h"
@@ -204,6 +205,7 @@ void sweep(int places, Job job, int places_per_node = 8) {
         EXPECT_EQ(envelopes, m.at("transport.coalesce.flush.size") +
                                  m.at("transport.coalesce.flush.count") +
                                  m.at("transport.coalesce.flush.idle") +
+                                 m.at("transport.coalesce.flush.immediate") +
                                  m.at("transport.coalesce.flush.quiesce"));
         EXPECT_GE(m.at("transport.coalesce.records"), envelopes);
       }
@@ -793,6 +795,111 @@ TEST(ChaosSweepTeamHier, AsyncHereLocalProtocolsBitExactVsEmulated) {
         ASSERT_EQ(ok.load(), kPlaces);
       },
       /*places_per_node=*/2);  // two places per leaf group: depth-2 tree
+}
+
+// --- Team and GLB over the socket backend (ISSUE 10) ------------------------
+//
+// Team mail now rides registered frame tasks and GLB's steal/lifeline/loot
+// protocol ships bags through their Ser hooks, so both run under the socket
+// backend. The legs below are the structural-equality proof: the same
+// collective rounds and the same balancing job on both backends, lossy chaos
+// and coalescing armed, books compared cell by cell.
+
+/// One collective round as a frame task: [mode u8]. Every place runs
+/// barrier -> allreduce(sum) -> bcast-from-0 on the world team of that mode,
+/// checks the values, and bumps "test.ran" on success. In socket mode a
+/// kNative team downgrades to the emulated algorithms (effective_mode), and
+/// the kDiffKeys books must not notice: mail rides immediates, which are
+/// outside every structural counter.
+void fn_team_round(x10rt::ByteBuffer& args) {
+  const auto mode = static_cast<TeamMode>(args.get<std::uint8_t>());
+  Team t = Team::world(mode);
+  t.barrier();
+  double v = 1.0 + t.rank();
+  t.allreduce(&v, 1, ReduceOp::kSum);
+  const double want = t.size() * (t.size() + 1) / 2.0;
+  std::uint64_t word = t.rank() == 0 ? 0x5eedULL : 0;
+  t.bcast(0, &word, 1);
+  if (v == want && word == 0x5eedULL) bump_ran();
+}
+const int kFnTeamRound = register_task_fn(&fn_team_round);
+
+void team_diff_job(TeamMode mode) {
+  finish(Pragma::kSpmd, [mode] {
+    for (int p = 0; p < num_places(); ++p) {
+      x10rt::ByteBuffer args;
+      args.put<std::uint8_t>(static_cast<std::uint8_t>(mode));
+      asyncAtFrame(p, kFnTeamRound, std::move(args));
+    }
+  });
+}
+
+TEST(DiffBackendTeam, EmulatedCollectivesMatchAcrossBackends) {
+  static constexpr int kPlaces = 4;
+  run_diff(
+      kPlaces, [] { team_diff_job(TeamMode::kEmulated); },
+      /*expect_ran=*/kPlaces);
+}
+
+TEST(DiffBackendTeam, NativeDowngradesToEmulatedOverSockets) {
+  static constexpr int kPlaces = 4;
+  run_diff(
+      kPlaces, [] { team_diff_job(TeamMode::kNative); },
+      /*expect_ran=*/kPlaces);
+}
+
+TEST(DiffBackendTeam, HierarchicalCollectivesMatchAcrossBackends) {
+  static constexpr int kPlaces = 4;
+  // places_per_node = 2: in-process the leaf groups are {0,1},{2,3} with
+  // shared-memory publish; over sockets the hierarchy collapses to singleton
+  // leaves and everything rides mail frames. Same books either way.
+  run_diff(
+      kPlaces, [] { team_diff_job(TeamMode::kHierarchical); },
+      /*expect_ran=*/kPlaces, /*places_per_node=*/2);
+}
+
+TEST(DiffBackendGlb, CounterBagProcessedTotalsMatchAcrossBackends) {
+  // GLB's full structural books are NOT backend-comparable: steal timing and
+  // lifeline resuscitations vary with the schedule, and each resuscitation
+  // ships a task ("runtime.tasks_shipped" moves). What must hold on *every*
+  // backend and seed: each work unit processed exactly once (the summed
+  // "glb.processed" counter), the job's own verification, and the all-acked
+  // teardown fixpoint.
+  static constexpr int kPlaces = 4;
+  static constexpr std::uint64_t kUnits = 3000;
+  for (int s = 0; s < kNumSeeds; ++s) {
+    for (const bool socket : {false, true}) {
+      SCOPED_TRACE(std::string(socket ? "socket" : "inproc") +
+                   " seed index " + std::to_string(s));
+      Config cfg = chaos_cfg(kPlaces, kSeeds[s]);
+      arm_lossy(cfg);
+      cfg.coalesce_bytes = 512;
+      cfg.coalesce_msgs = 8;
+      cfg.trace = false;
+      cfg.trace_path.clear();
+      cfg.metrics_path.clear();
+      if (socket) cfg.backend = BackendKind::kSocket;
+      Runtime::run(cfg, [] {
+        glb::Glb<glb::CounterBag> balancer{glb::GlbConfig{}};
+        balancer.run(glb::CounterBag(0, kUnits));
+        std::uint64_t total = 0;
+        for (int p = 0; p < num_places(); ++p) {
+          total += balancer.stats_at(p).processed;
+        }
+        if (total == kUnits) bump_ran();
+      });
+      const auto& m = last_run_metrics();
+      const auto ran_it = m.find("test.ran");
+      ASSERT_EQ(ran_it == m.end() ? 0 : ran_it->second, 1u)
+          << "gathered per-place stats did not sum to the seeded work";
+      EXPECT_EQ(m.at("glb.processed"), kUnits)
+          << "a work unit was lost or processed twice";
+      EXPECT_EQ(m.at("transport.retx.sent"), m.at("transport.retx.acked"));
+      EXPECT_EQ(m.at("finish.snapshots.sent"),
+                m.at("finish.snapshots.applied") +
+                    m.at("finish.snapshots.stale"));
+    }
+  }
 }
 
 TEST(ChaosSweepTeam, AllreduceSumsEveryRank) {

@@ -109,6 +109,18 @@ TEST(Integration, MonteCarloPiComposedApplication) {
         for (const auto& [lo, hi] : ranges) total += hi - lo;
         return total;
       }
+      void ser_put(x10rt::ByteBuffer& b) const {
+        x10rt::Ser<decltype(ranges)>::put(b, ranges);
+        b.put(hits);
+        b.put(processed_count);
+      }
+      static PiBag ser_get(x10rt::ByteBuffer& b) {
+        PiBag bag;
+        bag.ranges = x10rt::Ser<decltype(ranges)>::get(b);
+        bag.hits = b.get<std::uint64_t>();
+        bag.processed_count = b.get<std::uint64_t>();
+        return bag;
+      }
     };
 
     constexpr std::uint64_t kSamples = 200000;

@@ -59,6 +59,7 @@ RunResult run(const std::string& cmd) {
 const std::string kLaunch = APGAS_LAUNCH_BIN;
 const std::string kUts = APGAS_UTS_BIN;
 const std::string kTop = APGAS_TOP_BIN;
+const std::string kTeam = APGAS_TEAM_BIN;
 
 // No dots before the leaf name: bench_common's per_run_path inserts ".r0"
 // at the first dot after the last slash, and the traced test predicts that
@@ -128,6 +129,41 @@ TEST(Launcher, SurvivesLossyChaosWithExactCounts) {
                           kUts);
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_EQ(r.output.find("NO"), std::string::npos) << r.output;
+}
+
+TEST(Launcher, GlbUtsRunsAcrossFourPlaceProcesses) {
+  // APGAS_UTS_GLB=1 swaps the static frontier partitioning for the real
+  // lifeline GLB: UtsBags ride the wire through their Ser hooks, steals and
+  // lifeline resuscitations cross process boundaries, and the node count
+  // must still match the sequential traversal exactly.
+  const RunResult r = run("APGAS_UTS_GLB=1 " + kLaunch + " -n 4 " + kUts);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("lifeline GLB"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("verified"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("NO"), std::string::npos) << r.output;
+}
+
+TEST(Launcher, GlbUtsSurvivesLossyChaosWithExactCounts) {
+  // GLB's steal/lifeline protocol rides the same reliability layer as the
+  // finish protocol: with drop + dup + delay armed the traversal must still
+  // count every node exactly once.
+  const RunResult r = run("APGAS_UTS_GLB=1 " + kLaunch +
+                          " -n 4 --chaos-drop 0.05 --chaos-dup 0.02 "
+                          "--chaos-delay 0.3 --seed 11 " +
+                          kUts);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("NO"), std::string::npos) << r.output;
+}
+
+TEST(Launcher, TeamCollectivesRunAcrossPlaceProcesses) {
+  // team_socket_probe runs a barrier -> allreduce -> bcast round on the
+  // world team in all three modes at every place; kNative downgrades to the
+  // emulated mail path across processes instead of touching shared memory.
+  const RunResult r = run(kLaunch + " -n 4 " + kTeam);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("12/12 mode-rounds ok"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("verified"), std::string::npos) << r.output;
 }
 
 TEST(Launcher, ReportsUsageOnMissingPlaces) {
@@ -242,6 +278,35 @@ TEST(Launcher, ApgasTopOnceRendersPlaceRows) {
   // Missing file is a clean nonzero exit, not a hang or crash.
   const RunResult miss = run(kTop + " --once " + tele + ".nope");
   EXPECT_EQ(miss.exit_code, 1);
+}
+
+TEST(Launcher, ApgasTopRatesRenderDashWhenStampsDoNotAdvance) {
+  // Duplicate-stamp guard: rates divide counter deltas by the *frame-stamp*
+  // interval. Tick 1 drains both frames (stamp advances 0 -> 100, delta 75
+  // -> 750/s); tick 2 drains nothing, so the stamp is stuck at 100 and
+  // dt == 0 — exactly what duplicate t_ms stamps from a coarse clock look
+  // like. Every rate cell must degrade to "-", never inf/nan garbage.
+  const std::string tele = tmp_path("dup.jsonl");
+  {
+    std::ofstream out(tele);
+    out << R"({"place":0,"seq":0,"t_ms":100,"d":{"sched.p0.activities_executed":50},"a":{}})"
+        << "\n"
+        << R"({"place":0,"seq":1,"t_ms":100,"d":{"sched.p0.activities_executed":25},"a":{}})"
+        << "\n";
+  }
+  const RunResult r = run(kTop + " --ticks 2 --interval 0 " + tele);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("750"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("inf"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("nan"), std::string::npos) << r.output;
+  // The dt == 0 render: five 10-wide rate cells all "-".
+  std::size_t dashes = 0;
+  for (std::size_t at = 0;
+       (at = r.output.find("         - ", at)) != std::string::npos; ++at) {
+    ++dashes;
+  }
+  EXPECT_GE(dashes, 5u) << r.output;
+  std::remove(tele.c_str());
 }
 
 TEST(Launcher, CrashedPlaceFailsFastWithAReport) {

@@ -32,6 +32,7 @@ namespace {
 struct PlaceRow {
   std::uint64_t seq = 0;
   std::uint64_t t_ms = 0;                       // last frame stamp
+  std::uint64_t prev_t_ms = 0;                  // stamp at previous render
   std::map<std::string, long long> totals;      // accumulated counter deltas
   std::map<std::string, long long> prev_totals; // totals at previous render
   std::map<std::string, long long> abs;         // latest "a" absolutes
@@ -109,7 +110,21 @@ long long abs_col(const PlaceRow& r, const char* sub) {
   return 0;
 }
 
-void render(std::map<int, PlaceRow>& rows, double dt_s, bool once) {
+/// Formats one rate cell from a counter delta over the place's *frame-stamp*
+/// interval. dt_ms == 0 means the place's t_ms did not advance since the
+/// last render — no new frame, or frames carrying duplicate stamps from a
+/// clock that did not tick between flushes; dividing by that zero would
+/// print inf (or garbage after the cast), so the cell renders "-" instead.
+const char* fmt_rate(char* buf, std::size_t n, long long delta,
+                     std::uint64_t dt_ms) {
+  if (dt_ms == 0) return "-";
+  std::snprintf(buf, n, "%.0f",
+                static_cast<double>(delta) * 1000.0 /
+                    static_cast<double>(dt_ms));
+  return buf;
+}
+
+void render(std::map<int, PlaceRow>& rows, bool once) {
   if (!once) std::fputs("\x1b[H\x1b[2J", stdout);  // home + clear
   std::printf("apgas_top — %zu place(s)%s\n", rows.size(),
               once ? " (totals)" : "");
@@ -118,16 +133,35 @@ void render(std::map<int, PlaceRow>& rows, double dt_s, bool once) {
               once ? "retx" : "retx/s", once ? "coal" : "coal/s",
               once ? "parks" : "park/s", "exec_p99_us", "ship_p99_us", "wd");
   for (auto& [p, r] : rows) {
-    const double div = once ? 1.0 : (dt_s > 0 ? dt_s : 1.0);
-    std::printf(
-        "%5d %6" PRIu64 " %10.0f %10.0f %10.0f %10.0f %10.0f %12lld %12lld "
-        "%3s\n",
-        p, r.seq, column(r, "activities_executed", !once) / div,
-        column(r, ".steals", !once) / div, column(r, "retx", !once) / div,
-        column(r, "coalesce", !once) / div, column(r, "park", !once) / div,
-        abs_col(r, "activity.exec_ns.p99") / 1000,
-        abs_col(r, "ship_xproc_aligned_ns.p99") / 1000,
-        r.watchdog_reports > 0 ? "!!" : "-");
+    if (once) {
+      std::printf("%5d %6" PRIu64
+                  " %10lld %10lld %10lld %10lld %10lld %12lld %12lld %3s\n",
+                  p, r.seq, column(r, "activities_executed", false),
+                  column(r, ".steals", false), column(r, "retx", false),
+                  column(r, "coalesce", false), column(r, "park", false),
+                  abs_col(r, "activity.exec_ns.p99") / 1000,
+                  abs_col(r, "ship_xproc_aligned_ns.p99") / 1000,
+                  r.watchdog_reports > 0 ? "!!" : "-");
+    } else {
+      // Rates come from the place's own telemetry stamps, not the poll
+      // interval — frames can arrive late or bunched without skewing them.
+      const std::uint64_t dt_ms =
+          r.t_ms > r.prev_t_ms ? r.t_ms - r.prev_t_ms : 0;
+      char b[5][32];
+      std::printf(
+          "%5d %6" PRIu64 " %10s %10s %10s %10s %10s %12lld %12lld %3s\n", p,
+          r.seq,
+          fmt_rate(b[0], sizeof b[0], column(r, "activities_executed", true),
+                   dt_ms),
+          fmt_rate(b[1], sizeof b[1], column(r, ".steals", true), dt_ms),
+          fmt_rate(b[2], sizeof b[2], column(r, "retx", true), dt_ms),
+          fmt_rate(b[3], sizeof b[3], column(r, "coalesce", true), dt_ms),
+          fmt_rate(b[4], sizeof b[4], column(r, "park", true), dt_ms),
+          abs_col(r, "activity.exec_ns.p99") / 1000,
+          abs_col(r, "ship_xproc_aligned_ns.p99") / 1000,
+          r.watchdog_reports > 0 ? "!!" : "-");
+      r.prev_t_ms = r.t_ms;
+    }
     r.prev_totals = r.totals;
   }
   std::fflush(stdout);
@@ -139,13 +173,17 @@ int main(int argc, char** argv) {
   const char* path = "apgas_telemetry.jsonl";
   bool once = false;
   int interval_ms = 1000;
+  long ticks = -1;  // rate-mode renders before exiting; -1 = forever
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--once") == 0) {
       once = true;
     } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
       interval_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ticks") == 0 && i + 1 < argc) {
+      ticks = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: apgas_top [--once] [--interval MS] [file]\n");
+      std::printf(
+          "usage: apgas_top [--once] [--interval MS] [--ticks N] [file]\n");
       return 0;
     } else {
       path = argv[i];
@@ -176,13 +214,16 @@ int main(int argc, char** argv) {
 
   if (once) {
     drain();
-    render(rows, 0, /*once=*/true);
+    render(rows, /*once=*/true);
     std::fclose(f);
     return 0;
   }
-  for (;;) {
+  for (long t = 0; ticks < 0 || t < ticks; ++t) {
     drain();
-    render(rows, interval_ms / 1000.0, /*once=*/false);
+    render(rows, /*once=*/false);
+    if (ticks >= 0 && t + 1 == ticks) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
   }
+  std::fclose(f);
+  return 0;
 }
